@@ -1,0 +1,208 @@
+package dapple
+
+// One benchmark per table and figure of the paper's evaluation (§VI), each
+// regenerating the experiment through the same generators cmd/dapple-bench
+// uses (Quick mode trims the sweep sizes, not the logic), plus component
+// micro-benchmarks for the planner, the discrete-event engine, the real ring
+// all-reduce and the real pipelined runtime.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable6 -v
+
+import (
+	"math/rand"
+	"testing"
+
+	"dapple/internal/baselines"
+	"dapple/internal/core"
+	"dapple/internal/experiments"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/nn"
+	"dapple/internal/planner"
+	"dapple/internal/schedule"
+	"dapple/internal/sim"
+	"dapple/internal/tensor"
+	"dapple/internal/train"
+)
+
+// runExperiment drives one generator and records its row count.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	g := experiments.ByID(id)
+	if g == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opts := experiments.Options{Quick: true}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rep := g.Run(opts)
+		rows = len(rep.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B) { runExperiment(b, "table8") }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { runExperiment(b, "fig4") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14") }
+
+// ---- component micro-benchmarks ----
+
+// BenchmarkPlannerSearch measures one full planner run on the hierarchical
+// 2x8 topology (the Table V inner loop).
+func BenchmarkPlannerSearch(b *testing.B) {
+	m := model.GNMT16()
+	c := hardware.ConfigA(2)
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(m, c, planner.Options{PruneSlack: 1.3, Finalists: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLatencyModel measures the analytic Eq. (1)-(2) evaluation the
+// planner calls per candidate.
+func BenchmarkLatencyModel(b *testing.B) {
+	m := model.BERT48()
+	c := hardware.ConfigA(2)
+	p := baselines.GPipePlan(m, c, 64, 2)
+	p.Stages[0].Devices = c.Devices()[:8]
+	p.Stages[1].Devices = c.Devices()[8:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Latency()
+	}
+}
+
+// BenchmarkScheduleSim measures one discrete-event iteration of a 4-stage,
+// 32-micro-batch pipeline (the planner's re-ranking inner loop).
+func BenchmarkScheduleSim(b *testing.B) {
+	m := model.BERT48()
+	c := hardware.ConfigB(4)
+	p := baselines.GPipePlan(m, c, 64, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Run(p, schedule.Options{Policy: schedule.DapplePA, MemLimit: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEngine measures the raw engine on a synthetic 10k-task graph.
+func BenchmarkSimEngine(b *testing.B) {
+	build := func() *sim.Graph {
+		g := sim.NewGraph()
+		rng := rand.New(rand.NewSource(1))
+		var ids []sim.TaskID
+		for i := 0; i < 10000; i++ {
+			id := g.Add(sim.Task{Resource: g.Resource(string(rune('a' + i%16))), Duration: rng.Float64()})
+			if i > 0 {
+				g.AddDep(id, ids[rng.Intn(i)])
+			}
+			ids = append(ids, id)
+		}
+		return g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := build()
+		b.StartTimer()
+		g.Run()
+	}
+}
+
+// BenchmarkRingAllReduce measures the real channel-based ring all-reduce
+// across 8 goroutine participants on 1M floats.
+func BenchmarkRingAllReduce(b *testing.B) {
+	const n, size = 8, 1 << 20
+	bufs := make([][]float64, n)
+	for i := range bufs {
+		bufs[i] = make([]float64, size)
+	}
+	b.SetBytes(int64(n * size * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train.RingAllReduce(bufs)
+	}
+}
+
+// BenchmarkMatMul measures the goroutine-parallel blocked matmul.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(256, 256)
+	y := tensor.New(256, 256)
+	x.Randomize(rng, 1)
+	y.Randomize(rng, 1)
+	b.SetBytes(256 * 256 * 256 * 2 * 8 / (1 << 10)) // rough FLOP proxy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkRealPipelineStep measures one iteration of the real goroutine
+// pipeline (3 stages, 8 micro-batches) including gradient sync.
+func BenchmarkRealPipelineStep(b *testing.B) {
+	master := nn.MLP([]int{64, 128, 128, 64, 8}, 1)
+	pipe, err := train.NewPipeline(master, train.PipelineConfig{
+		Cuts:   []int{3, 5, 7},
+		Policy: train.DappleSchedule,
+	}, func() nn.Optimizer { return nn.SGD{LR: 1e-3} })
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	micros := make([]train.Batch, 8)
+	for i := range micros {
+		x := tensor.New(16, 64)
+		x.Randomize(rng, 1)
+		y := make([]int, 16)
+		for j := range y {
+			y[j] = rng.Intn(8)
+		}
+		micros[i] = train.Batch{X: x, Y: y}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Step(micros); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeDreamPlanner measures the baseline planner's DP.
+func BenchmarkPipeDreamPlanner(b *testing.B) {
+	m := model.BERT48()
+	c := hardware.ConfigA(2)
+	for i := 0; i < b.N; i++ {
+		_ = baselines.PipeDream(m, c, 128)
+	}
+}
+
+// BenchmarkCrossStageModel measures the NIC-bottleneck transfer model on the
+// 8:8 hierarchical layout.
+func BenchmarkCrossStageModel(b *testing.B) {
+	c := hardware.ConfigA(2)
+	m := model.BERT48()
+	plan := &core.Plan{Model: m, Cluster: c, GBS: 64, MicroBatch: 2,
+		Stages: []core.Stage{
+			{Lo: 0, Hi: 24, Devices: c.Devices()[:8]},
+			{Lo: 24, Hi: 48, Devices: c.Devices()[8:]},
+		}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = plan.CrossStageTime(0)
+	}
+}

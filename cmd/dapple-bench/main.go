@@ -1,0 +1,55 @@
+// Command dapple-bench regenerates the paper's evaluation tables and figures
+// from the reproduction's workload generators, planner and schedule
+// simulator.
+//
+// Usage:
+//
+//	dapple-bench -exp all          # every table and figure (§VI)
+//	dapple-bench -exp table5       # one experiment
+//	dapple-bench -list             # available experiment ids
+//	dapple-bench -exp fig12 -quick # trimmed sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dapple/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (tableN, figN) or 'all'")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, g := range experiments.All() {
+			fmt.Printf("%-8s %s\n", g.ID, g.Name)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	run := func(g experiments.Generator) {
+		start := time.Now()
+		rep := g.Run(opts)
+		fmt.Println(rep)
+		fmt.Printf("(%s generated in %.1fs)\n\n", g.ID, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, g := range experiments.All() {
+			run(g)
+		}
+		return
+	}
+	g := experiments.ByID(*exp)
+	if g == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(*g)
+}

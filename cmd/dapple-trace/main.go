@@ -1,0 +1,102 @@
+// Command dapple-trace renders schedule timelines for a planned model: an
+// ASCII Gantt chart per scheduling policy, the per-stage memory curves of
+// Fig. 3(c), and optional Chrome trace JSON.
+//
+// Usage:
+//
+//	dapple-trace -model GNMT-16 -config A -m 8
+//	dapple-trace -model BERT-48 -config B -policies gpipe,pa,pb -out trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/planner"
+	"dapple/internal/schedule"
+	"dapple/internal/stats"
+	"dapple/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "GNMT-16", "zoo model name")
+		config    = flag.String("config", "A", "hardware config: A, B or C")
+		servers   = flag.Int("servers", 2, "server count")
+		m         = flag.Int("m", 0, "micro-batch count override")
+		policies  = flag.String("policies", "gpipe,pa", "comma-separated: gpipe, pa, pb")
+		width     = flag.Int("width", 110, "gantt width in columns")
+		out       = flag.String("out", "", "write <out>.<policy>.json Chrome traces")
+	)
+	flag.Parse()
+
+	mod := model.ByName(*modelName)
+	if mod == nil {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+	var c hardware.Cluster
+	switch strings.ToUpper(*config) {
+	case "A":
+		c = hardware.ConfigA(*servers)
+	case "B":
+		c = hardware.ConfigB(*servers)
+	case "C":
+		c = hardware.ConfigC(*servers)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(1)
+	}
+
+	pr, err := planner.Plan(mod, c, planner.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("plan: %v\n\n", pr)
+
+	polMap := map[string]schedule.Policy{
+		"gpipe": schedule.GPipe, "pa": schedule.DapplePA, "pb": schedule.DapplePB,
+	}
+	for _, name := range strings.Split(*policies, ",") {
+		pol, ok := polMap[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", name)
+			os.Exit(1)
+		}
+		res, err := schedule.Run(pr.Plan, schedule.Options{
+			Policy: pol, M: *m, Recompute: pr.NeedsRecompute, MemLimit: -1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %v: %s/iter, avg peak %s ---\n",
+			pol, stats.Seconds(res.IterTime), stats.BytesF(res.AvgPeakMem))
+		fmt.Print(trace.Gantt(res.Sim, *width))
+		for i := range pr.Plan.Stages {
+			curve, peak := trace.MemCurve(res.MemTrace(i), res.IterTime, *width)
+			fmt.Printf("stage%d mem (peak %9s) %s\n", i, stats.Bytes(peak), curve)
+		}
+		fmt.Println()
+		if *out != "" {
+			path := fmt.Sprintf("%s.%v.json", *out, pol)
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := trace.WriteChrome(f, res.Sim); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Command dapple plans and simulates hybrid data/pipeline-parallel training
+// for the benchmark models on the paper's cluster configurations.
+//
+// Usage:
+//
+//	dapple -model BERT-48 -config A -servers 2
+//	dapple -model GNMT-16 -config C -servers 16 -gbs 2048 -policy pb
+//	dapple -model VGG-19 -config A -gantt -trace out.json
+//	dapple -models          # list zoo models
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/planner"
+	"dapple/internal/schedule"
+	"dapple/internal/stats"
+	"dapple/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "BERT-48", "zoo model name (see -models)")
+		config    = flag.String("config", "A", "hardware config: A, B or C (Table III)")
+		servers   = flag.Int("servers", 0, "server count (default: 2 for A, 16 for B/C)")
+		gbs       = flag.Int("gbs", 0, "global batch size (default: model's)")
+		policy    = flag.String("policy", "", "schedule policy: pa, pb or gpipe (default: planner's recommendation)")
+		recompute = flag.Bool("recompute", false, "force activation re-computation")
+		gantt     = flag.Bool("gantt", false, "print the simulated timeline")
+		traceOut  = flag.String("trace", "", "write Chrome trace JSON to this file")
+		planOut   = flag.String("plan-out", "", "write the chosen plan as JSON to this file")
+		planIn    = flag.String("plan-in", "", "skip planning: load a plan JSON written by -plan-out")
+		listAll   = flag.Bool("models", false, "list zoo models and exit")
+	)
+	flag.Parse()
+
+	if *listAll {
+		for _, m := range model.Zoo() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	m := model.ByName(*modelName)
+	if m == nil {
+		fatalf("unknown model %q; use -models", *modelName)
+	}
+	c, err := pickConfig(*config, *servers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("model:   %v\n", m)
+	fmt.Printf("cluster: %v\n", c)
+
+	var plan *core.Plan
+	pol := schedule.DapplePA
+	needRC := false
+	if *planIn != "" {
+		data, err := os.ReadFile(*planIn)
+		if err != nil {
+			fatalf("read plan: %v", err)
+		}
+		plan, err = core.UnmarshalPlan(data, m, c)
+		if err != nil {
+			fatalf("load plan: %v", err)
+		}
+		fmt.Printf("plan:    %v (loaded from %s)\n", plan, *planIn)
+	} else {
+		pr, err := planner.Plan(m, c, planner.Options{GBS: *gbs})
+		if err != nil {
+			fatalf("planning failed: %v", err)
+		}
+		plan, pol, needRC = pr.Plan, pr.Policy, pr.NeedsRecompute
+		fmt.Printf("plan:    %v (policy %v)\n", pr, pr.Policy)
+		if pr.NeedsRecompute {
+			fmt.Println("         (requires activation re-computation to fit memory)")
+		}
+	}
+	if *planOut != "" {
+		data, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			fatalf("encode plan: %v", err)
+		}
+		if err := os.WriteFile(*planOut, data, 0o644); err != nil {
+			fatalf("write plan: %v", err)
+		}
+		fmt.Printf("wrote plan to %s\n", *planOut)
+	}
+
+	if *policy != "" {
+		var ok bool
+		pol, ok = map[string]schedule.Policy{
+			"pa": schedule.DapplePA, "pb": schedule.DapplePB, "gpipe": schedule.GPipe,
+		}[strings.ToLower(*policy)]
+		if !ok {
+			fatalf("unknown policy %q (want pa, pb or gpipe)", *policy)
+		}
+	}
+	res, err := schedule.Run(plan, schedule.Options{
+		Policy:    pol,
+		Recompute: *recompute || needRC,
+	})
+	if err != nil {
+		fatalf("simulation failed: %v", err)
+	}
+	fmt.Printf("runtime: %s/iter, %.1f samples/s, bubbles %.1f%%\n",
+		stats.Seconds(res.IterTime), res.Throughput(), 100*res.BubbleFraction)
+	fmt.Printf("memory:  avg peak %s, max peak %s", stats.BytesF(res.AvgPeakMem), stats.Bytes(res.MaxPeakMem))
+	if res.OOM {
+		fmt.Printf("  ** OOM on stage %d **", res.OOMStage)
+	}
+	fmt.Println()
+	for i, st := range res.PerStage {
+		fmt.Printf("  stage %d: peak %s (static %s), util %.0f%%, warmup K=%d\n",
+			i, stats.Bytes(st.PeakMem), stats.Bytes(st.StaticMem), 100*st.Utilization, st.Warmup)
+	}
+
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(res.Sim, 120))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("create trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.WriteChrome(f, res.Sim); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+	}
+}
+
+func pickConfig(name string, servers int) (hardware.Cluster, error) {
+	switch strings.ToUpper(name) {
+	case "A":
+		if servers == 0 {
+			servers = 2
+		}
+		return hardware.ConfigA(servers), nil
+	case "B":
+		if servers == 0 {
+			servers = 16
+		}
+		return hardware.ConfigB(servers), nil
+	case "C":
+		if servers == 0 {
+			servers = 16
+		}
+		return hardware.ConfigC(servers), nil
+	}
+	return hardware.Cluster{}, fmt.Errorf("unknown config %q (want A, B or C)", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

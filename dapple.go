@@ -1,0 +1,122 @@
+// Package dapple is the public facade of this reproduction of
+// "DAPPLE: A Pipelined Data Parallel Approach for Training Large Models"
+// (Fan et al., PPoPP 2021): profile a model, plan a hybrid data/pipeline
+// strategy for a cluster, and simulate or really execute the planned
+// schedule.
+//
+// The three components mirror the paper's Fig. 1 workflow:
+//
+//   - the Profiler (ProfileArch) turns an architecture into per-layer
+//     statistics;
+//   - the Planner (PlanModel) searches stage partitions, replication and
+//     topology-aware placement for the minimum synchronous pipeline latency;
+//   - the Runtime (Simulate) executes GPipe or DAPPLE early-backward
+//     schedules with byte-accurate memory accounting on a discrete-event
+//     cluster simulator.
+//
+// A real concurrent mini-runtime (goroutines as devices, channels as links)
+// lives in internal/train and backs the gradient-equivalence guarantees; see
+// examples/training.
+package dapple
+
+import (
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/planner"
+	"dapple/internal/profile"
+	"dapple/internal/schedule"
+	"dapple/internal/trace"
+)
+
+// Re-exported core types. The internal packages remain the implementation;
+// these aliases are the stable public surface.
+type (
+	// Model is a profiled DNN: per-layer compute times, activation sizes and
+	// parameter sizes at a reference micro-batch.
+	Model = model.Model
+	// Layer is one profiled, pipeline-splittable unit.
+	Layer = model.Layer
+	// Cluster describes a training cluster topology.
+	Cluster = hardware.Cluster
+	// DeviceID identifies one accelerator.
+	DeviceID = hardware.DeviceID
+	// Plan is a hybrid data/pipeline parallelization strategy.
+	Plan = core.Plan
+	// Stage is one pipeline stage of a Plan.
+	Stage = core.Stage
+	// PlanResult is the planner's output.
+	PlanResult = planner.Result
+	// PlanOptions tunes the planner search.
+	PlanOptions = planner.Options
+	// ScheduleOptions configures a simulated training iteration.
+	ScheduleOptions = schedule.Options
+	// ScheduleResult reports a simulated training iteration.
+	ScheduleResult = schedule.Result
+	// Arch is a profilable architecture description.
+	Arch = profile.Arch
+	// LayerSpec is one architecture layer kind.
+	LayerSpec = profile.LayerSpec
+)
+
+// Schedule policies.
+const (
+	// GPipeSchedule floods all micro-batches forward before draining
+	// backward (Fig. 3(a)).
+	GPipeSchedule = schedule.GPipe
+	// DapplePA is early-backward scheduling with K_i = min(S-i, D) warmup
+	// micro-batches (§V-C policy A).
+	DapplePA = schedule.DapplePA
+	// DapplePB doubles the warmup depth for communication-heavy pipelines
+	// (§V-C policy B).
+	DapplePB = schedule.DapplePB
+)
+
+// ConfigA returns the hierarchical cluster of Table III: servers with 8
+// NVLink-connected V100s on 25 Gbps Ethernet.
+func ConfigA(servers int) Cluster { return hardware.ConfigA(servers) }
+
+// ConfigB returns the flat cluster of Table III: single-V100 servers on
+// 25 Gbps Ethernet.
+func ConfigB(servers int) Cluster { return hardware.ConfigB(servers) }
+
+// ConfigC returns the flat cluster of Table III with 10 Gbps Ethernet.
+func ConfigC(servers int) Cluster { return hardware.ConfigC(servers) }
+
+// Zoo returns the six calibrated benchmark models of Table II.
+func Zoo() []*Model { return model.Zoo() }
+
+// ModelByName returns a zoo model by its Table II name, or nil.
+func ModelByName(name string) *Model { return model.ByName(name) }
+
+// ProfileArch measures an architecture on a V100-class device at the given
+// micro-batch size, producing a planner-ready Model (the DAPPLE Profiler).
+func ProfileArch(a Arch, batch int) (*Model, error) {
+	return profile.New(profile.V100()).Profile(a, batch)
+}
+
+// PlanModel searches for the latency-optimal hybrid plan of m on c (the
+// DAPPLE Planner). A zero Options value uses the model's default global
+// batch size.
+func PlanModel(m *Model, c Cluster, opts PlanOptions) (*PlanResult, error) {
+	return planner.Plan(m, c, opts)
+}
+
+// Simulate executes one training iteration of the plan on the discrete-event
+// runtime and reports iteration time, throughput, per-device peak memory and
+// OOM conditions.
+func Simulate(p *Plan, opts ScheduleOptions) (*ScheduleResult, error) {
+	return schedule.Run(p, opts)
+}
+
+// Gantt renders a simulated iteration as an ASCII timeline, one row per
+// stage executor and link (the Fig. 3/4 schedule diagrams).
+func Gantt(res *ScheduleResult, width int) string {
+	return trace.Gantt(res.Sim, width)
+}
+
+// MemoryCurve renders stage's memory-over-time as a sparkline plus its peak
+// bytes (the Fig. 3(c) curves).
+func MemoryCurve(res *ScheduleResult, stage, width int) (string, int64) {
+	return trace.MemCurve(res.MemTrace(stage), res.IterTime, width)
+}

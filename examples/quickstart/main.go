@@ -1,0 +1,47 @@
+// Quickstart: plan and simulate BERT-48 on the paper's hierarchical config A
+// (2 servers x 8 NVLink-connected V100s, 25 Gbps Ethernet) using the public
+// dapple API — the Fig. 1 workflow in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dapple"
+)
+
+func main() {
+	m := dapple.ModelByName("BERT-48")
+	cluster := dapple.ConfigA(2)
+
+	fmt.Printf("model:   %v\n", m)
+	fmt.Printf("cluster: %v\n\n", cluster)
+
+	// The Planner searches stage partitions, replication degrees and
+	// topology-aware placements (Fresh/Append/Scatter First).
+	plan, err := dapple.PlanModel(m, cluster, dapple.PlanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best plan: %v\n", plan)
+	for i, s := range plan.Plan.Stages {
+		fmt.Printf("  stage %d: layers [%d,%d) on %d device(s) %v\n",
+			i, s.Lo, s.Hi, s.Replicas(), s.Devices)
+	}
+
+	// The Runtime executes the plan with DAPPLE early-backward scheduling.
+	res, err := dapple.Simulate(plan.Plan, dapple.ScheduleOptions{
+		Policy:    dapple.DapplePA,
+		Recompute: plan.NeedsRecompute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\niteration: %.1f ms  (%.1f samples/s, %.1f%% bubbles)\n",
+		res.IterTime*1e3, res.Throughput(), 100*res.BubbleFraction)
+	fmt.Printf("memory:    avg peak %.1f GiB across devices (OOM: %v)\n",
+		res.AvgPeakMem/(1<<30), res.OOM)
+
+	fmt.Println("\nschedule timeline:")
+	fmt.Print(dapple.Gantt(res, 110))
+}

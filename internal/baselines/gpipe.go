@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"math"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+)
+
+// BalancedCuts partitions the model's layers into g contiguous blocks
+// minimizing the maximum per-block forward+backward time — the "Block
+// Partitions of Sequences" strategy torchgpipe uses. It returns g exclusive
+// end indices.
+func BalancedCuts(m *model.Model, g int) []int {
+	n := m.NumLayers()
+	w := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		w[i+1] = w[i] + m.Layers[i].FwdTime + m.Layers[i].BwdTime
+	}
+	const inf = math.MaxFloat64
+	dp := make([][]float64, g+1)
+	cut := make([][]int, g+1)
+	for k := range dp {
+		dp[k] = make([]float64, n+1)
+		cut[k] = make([]int, n+1)
+		for i := range dp[k] {
+			dp[k][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= g; k++ {
+		for i := k; i <= n; i++ {
+			for p := k - 1; p < i; p++ {
+				if dp[k-1][p] == inf {
+					continue
+				}
+				v := math.Max(dp[k-1][p], w[i]-w[p])
+				if v < dp[k][i] {
+					dp[k][i] = v
+					cut[k][i] = p
+				}
+			}
+		}
+	}
+	cuts := make([]int, g)
+	i := n
+	for k := g; k >= 1; k-- {
+		cuts[k-1] = i
+		i = cut[k][i]
+	}
+	return cuts
+}
+
+// GPipePlan builds the GPipe-style plan: the model split evenly (balanced
+// block partition) over nStages stages, one device each, in device order —
+// what torchgpipe produces for a straight pipeline.
+func GPipePlan(m *model.Model, c hardware.Cluster, gbs, nStages int) *core.Plan {
+	cuts := BalancedCuts(m, nStages)
+	stages := make([]core.Stage, nStages)
+	lo := 0
+	for i := range stages {
+		stages[i] = core.Stage{Lo: lo, Hi: cuts[i], Devices: []hardware.DeviceID{hardware.DeviceID(i)}}
+		lo = cuts[i]
+	}
+	p := &core.Plan{Model: m, Cluster: c, Stages: stages, GBS: gbs}
+	p.MicroBatch = core.ChooseMicroBatch(m, gbs)
+	return p
+}

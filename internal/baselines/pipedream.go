@@ -1,0 +1,142 @@
+package baselines
+
+import (
+	"math"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+)
+
+// PipeDream re-implements PipeDream's planner from its published description
+// and evaluates the result under synchronous training, as the paper does for
+// Table VII / Fig. 13.
+//
+// PipeDream partitions hierarchically: on multi-machine clusters it first
+// splits the model into per-machine chunks balanced by compute, then
+// recursively partitions each chunk across that machine's GPUs. Within a
+// level it minimizes the maximum per-stage time, where a replicated stage's
+// time is its compute divided by replicas plus the incoming activation
+// communication plus the per-minibatch share of its weight synchronization.
+// The objective targets asynchronous steady-state throughput: it does not
+// model the end-of-iteration synchronization wave, the stage-count dependence
+// of synchronous bubbles, or placements beyond the hierarchical recursion —
+// exactly the limitations §IV-D calls out.
+func PipeDream(m *model.Model, c hardware.Cluster, gbs int) *core.Plan {
+	mb := core.ChooseMicroBatch(m, gbs)
+	var stages []core.Stage
+	if c.Servers > 1 && c.GPUsPerServer > 1 {
+		// Level 1: balanced contiguous chunk per machine.
+		cuts := BalancedCuts(m, c.Servers)
+		lo := 0
+		for srv := 0; srv < c.Servers; srv++ {
+			sub := pipeDreamFlat(m, c, gbs, lo, cuts[srv], c.GPUsPerServer, srv*c.GPUsPerServer)
+			stages = append(stages, sub...)
+			lo = cuts[srv]
+		}
+	} else {
+		stages = pipeDreamFlat(m, c, gbs, 0, m.NumLayers(), c.NumDevices(), 0)
+	}
+	return &core.Plan{Model: m, Cluster: c, Stages: stages, GBS: gbs, MicroBatch: mb}
+}
+
+// pipeDreamFlat partitions layers [lo, hi) across g devices starting at
+// device id base, minimizing the maximum per-stage time.
+func pipeDreamFlat(m *model.Model, c hardware.Cluster, gbs, lo, hi, g, base int) []core.Stage {
+	n := hi - lo
+	mb := core.ChooseMicroBatch(m, gbs)
+	scale := float64(mb) / float64(m.ProfileBatch)
+	microPerIter := gbs / mb
+	if microPerIter < 1 {
+		microPerIter = 1
+	}
+
+	// prefix[i] = compute time of layers [lo, lo+i) at micro-batch size mb.
+	prefix := make([]float64, n+1)
+	params := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		l := m.Layers[lo+i]
+		prefix[i+1] = prefix[i] + (l.FwdTime+l.BwdTime)*scale
+		params[i+1] = params[i] + float64(l.ParamBytes)
+	}
+	commIn := func(i int) float64 {
+		if lo+i == 0 {
+			return 0
+		}
+		bytes := float64(m.Layers[lo+i-1].OutputBytes) * scale
+		return bytes / c.InterBW
+	}
+	// Weight-sync share per micro-batch for a replicated stage: ring
+	// all-reduce volume amortized across one weight version's micro-batches.
+	syncBW := c.InterBW
+	if c.GPUsPerServer >= g && c.IntraBW > 0 {
+		syncBW = c.IntraBW // level-2 replication stays on one machine
+	}
+	syncCost := func(i, j, r int) float64 {
+		if r <= 1 {
+			return 0
+		}
+		vol := 2 * float64(r-1) / float64(r) * (params[j] - params[i])
+		return vol / syncBW / float64(microPerIter)
+	}
+
+	// dp[j][k]: minimal max-stage-time covering [0,j) local layers with k
+	// devices.
+	const inf = math.MaxFloat64
+	type cell struct {
+		t     float64
+		prev  int
+		prevK int
+		reps  int
+	}
+	dp := make([][]cell, n+1)
+	for j := range dp {
+		dp[j] = make([]cell, g+1)
+		for k := range dp[j] {
+			dp[j][k] = cell{t: inf}
+		}
+	}
+	dp[0][0] = cell{t: 0}
+	for j := 1; j <= n; j++ {
+		for k := 1; k <= g; k++ {
+			for i := 0; i < j; i++ {
+				for r := 1; r <= k; r++ {
+					prev := dp[i][k-r]
+					if prev.t == inf {
+						continue
+					}
+					stage := (prefix[j]-prefix[i])/float64(r) + commIn(i) + syncCost(i, j, r)
+					t := math.Max(prev.t, stage)
+					cur := dp[j][k]
+					// Tie-break toward less replication (replicas cost
+					// weight-stashing memory in PipeDream's runtime).
+					if t < cur.t || (t == cur.t && r < cur.reps) {
+						dp[j][k] = cell{t: t, prev: i, prevK: k - r, reps: r}
+					}
+				}
+			}
+		}
+	}
+
+	// Reconstruct stage list; assign contiguous devices front-to-back.
+	var bounds, reps []int
+	j, k := n, g
+	for j > 0 {
+		cl := dp[j][k]
+		bounds = append([]int{j}, bounds...)
+		reps = append([]int{cl.reps}, reps...)
+		j, k = cl.prev, cl.prevK
+	}
+	stages := make([]core.Stage, len(bounds))
+	at, dev := 0, base
+	for i := range bounds {
+		devs := make([]hardware.DeviceID, reps[i])
+		for d := range devs {
+			devs[d] = hardware.DeviceID(dev)
+			dev++
+		}
+		stages[i] = core.Stage{Lo: lo + at, Hi: lo + bounds[i], Devices: devs}
+		at = bounds[i]
+	}
+	return stages
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+)
+
+// planJSON is the serialized form of a Plan: the strategy itself plus the
+// names needed to re-bind it to a model and cluster on load.
+type planJSON struct {
+	Model      string      `json:"model"`
+	Cluster    string      `json:"cluster"`
+	GBS        int         `json:"gbs"`
+	MicroBatch int         `json:"microBatch"`
+	Stages     []stageJSON `json:"stages"`
+}
+
+type stageJSON struct {
+	Lo      int   `json:"lo"`
+	Hi      int   `json:"hi"`
+	Devices []int `json:"devices"`
+}
+
+// MarshalJSON implements json.Marshaler, emitting a portable strategy
+// description (model/cluster referenced by name).
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	out := planJSON{
+		Model:      p.Model.Name,
+		Cluster:    p.Cluster.Name,
+		GBS:        p.GBS,
+		MicroBatch: p.MicroBatch,
+	}
+	for _, s := range p.Stages {
+		sj := stageJSON{Lo: s.Lo, Hi: s.Hi}
+		for _, d := range s.Devices {
+			sj.Devices = append(sj.Devices, int(d))
+		}
+		out.Stages = append(out.Stages, sj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalPlan decodes a serialized strategy and re-binds it to the given
+// model and cluster, validating the result.
+func UnmarshalPlan(data []byte, m *model.Model, c hardware.Cluster) (*Plan, error) {
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: decode plan: %w", err)
+	}
+	if in.Model != "" && in.Model != m.Name {
+		return nil, fmt.Errorf("core: plan is for model %q, not %q", in.Model, m.Name)
+	}
+	p := &Plan{Model: m, Cluster: c, GBS: in.GBS, MicroBatch: in.MicroBatch}
+	for _, sj := range in.Stages {
+		s := Stage{Lo: sj.Lo, Hi: sj.Hi}
+		for _, d := range sj.Devices {
+			s.Devices = append(s.Devices, hardware.DeviceID(d))
+		}
+		p.Stages = append(p.Stages, s)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+// Heavier experiment-level checks: these regenerate the quick variants of the
+// planner-driven tables/figures and assert the paper's qualitative claims.
+// They are skipped under -short.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTable5Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweep")
+	}
+	r := Table5(Options{Quick: true})
+	if len(r.Rows) != 18 {
+		t.Fatalf("%d rows, want 18", len(r.Rows))
+	}
+	byKey := map[string][]string{}
+	for _, row := range r.Rows {
+		byKey[strings.Split(row[0], "(")[0]+"/"+row[1]] = row
+	}
+	// ResNet-50 plans DP everywhere (Table V).
+	for _, k := range []string{"A", "B", "C"} {
+		if byKey["ResNet-50/"+k][2] != "DP" {
+			t.Errorf("ResNet-50/%s: %v, want DP", k, byKey["ResNet-50/"+k])
+		}
+	}
+	// VGG-19 on config C pipelines with a tiny tail stage.
+	if row := byKey["VGG-19/C"]; row[2] == "DP" {
+		t.Errorf("VGG-19/C should pipeline: %v", row)
+	}
+	// Every feasible plan reports a sane speedup (<= 16 devices).
+	for k, row := range byKey {
+		if row[5] == "-" {
+			continue
+		}
+		s, err := strconv.ParseFloat(strings.TrimSuffix(row[5], "x"), 64)
+		if err != nil || s <= 1 || s > 16.01 {
+			t.Errorf("%s: speedup %q out of range", k, row[5])
+		}
+	}
+}
+
+func TestTable4PolicyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweep")
+	}
+	r := Table4(Options{Quick: true})
+	ratios := map[string]float64{}
+	for _, row := range r.Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("row %v", row)
+		}
+		ratios[row[0]] = v
+	}
+	// PB never hurts materially, and helps GNMT (the high-ACR workload) at
+	// least as much as BERT (the low-ACR one) — Table IV's ordering.
+	for m, v := range ratios {
+		if v < 0.97 {
+			t.Errorf("%s: PB/PA = %.2f, should not regress", m, v)
+		}
+	}
+	if ratios["GNMT-16"] < ratios["BERT-48"]-0.01 {
+		t.Errorf("GNMT (high ACR) should gain at least as much as BERT: %v", ratios)
+	}
+}
+
+func TestFig12Trends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweep")
+	}
+	r := Fig12(Options{Quick: true})
+	// Collect per-config hybrid/bestDP ratios.
+	perCfg := map[string][]float64{}
+	for _, row := range r.Rows {
+		if len(row) < 7 || !strings.HasSuffix(row[6], "x") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[6], "x"), 64)
+		if err != nil {
+			continue
+		}
+		perCfg[row[1]] = append(perCfg[row[1]], v)
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if len(perCfg["A"]) == 0 || len(perCfg["C"]) == 0 {
+		t.Fatalf("missing configs: %v", perCfg)
+	}
+	// The slow network benefits most from hybrid parallelism (paper: 1.79x
+	// on C vs 1.71/1.37 on A/B at GBS 128).
+	if mean(perCfg["C"]) <= mean(perCfg["A"]) {
+		t.Errorf("config C advantage %.2f should exceed config A %.2f",
+			mean(perCfg["C"]), mean(perCfg["A"]))
+	}
+}
+
+func TestFig13PlannerAlwaysWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweep")
+	}
+	r := Fig13(Options{Quick: true})
+	for _, row := range r.Rows {
+		if len(row) < 5 || !strings.HasSuffix(row[4], "x") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatalf("row %v", row)
+		}
+		if v < 0.99 {
+			t.Errorf("%s: DAPPLE plan loses to PipeDream plan (%.2fx)", row[0], v)
+		}
+	}
+}
+
+func TestFig14HybridScalesPastServerBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweep")
+	}
+	r := Fig14(Options{Quick: true})
+	// In quick mode rows are at 8 and 16 GPUs. Hybrid speedup must grow
+	// when doubling devices across the server boundary.
+	hybrid := map[string]map[string]float64{}
+	for _, row := range r.Rows {
+		if row[4] == "infeasible" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			continue
+		}
+		if hybrid[row[0]] == nil {
+			hybrid[row[0]] = map[string]float64{}
+		}
+		hybrid[row[0]][row[1]] = v
+	}
+	for m, pts := range hybrid {
+		if pts["16"] <= pts["8"] {
+			t.Errorf("%s: hybrid does not scale 8->16 GPUs (%v)", m, pts)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweep")
+	}
+	for _, id := range []string{"ablation-placement", "ablation-rerank", "ablation-stages"} {
+		g := ByID(id)
+		if g == nil {
+			t.Fatalf("missing %s", id)
+		}
+		rep := g.Run(Options{Quick: true})
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}

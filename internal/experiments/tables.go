@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dapple/internal/baselines"
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/planner"
+	"dapple/internal/schedule"
+	"dapple/internal/stats"
+)
+
+// table1Models are the five models of Table I with the paper's published
+// activation/gradient volumes for side-by-side comparison.
+var table1Paper = []struct {
+	name       string
+	activation string
+	gradient   string
+}{
+	{"GNMT-16", "26MB", "1.1GB"},
+	{"BERT-48", "8.8MB", "2.8GB"},
+	{"XLNet-36", "4.2MB", "2.1GB"},
+	{"AmoebaNet-36", "11.2MB", "3.7GB"},
+	{"VGG-19", "6MB", "550MB"},
+}
+
+// Table1 regenerates Table I: activation volume at the planner's partition
+// boundary at the profiling micro-batch versus the full gradient volume — the
+// asymmetry motivating hybrid parallelism on hierarchical interconnects. The
+// boundary is the cheapest stage cut the planner selects (for VGG-19 that is
+// the conv/fc boundary, far from the compute-balanced split).
+func Table1(opts Options) *Report {
+	r := &Report{ID: "table1", Title: "Traffic volume (boundary activations vs gradients)",
+		Header: []string{"Benchmark", "Activation@boundary", "paper", "Gradients", "paper"}}
+	for _, row := range table1Paper {
+		m := model.ByName(row.name)
+		cut := baselines.BalancedCuts(m, 2)[0]
+		if pr, err := planner.Plan(m, hardware.ConfigC(16), plannerOpts(opts, 0)); err == nil &&
+			pr.Plan.NumStages() > 1 {
+			// Use the lightest boundary of the planner's config-C plan, the
+			// environment where boundary traffic matters most.
+			best := pr.Plan.BoundaryBytes(0)
+			cut = pr.Plan.Stages[0].Hi
+			for i := 1; i < pr.Plan.NumStages()-1; i++ {
+				if b := pr.Plan.BoundaryBytes(i); b < best {
+					best, cut = b, pr.Plan.Stages[i].Hi
+				}
+			}
+		}
+		boundary := m.OutputBytes(cut-1, m.ProfileBatch)
+		r.Add(m.Name, stats.Bytes(boundary), row.activation,
+			stats.Bytes(m.GradientBytes()), row.gradient)
+	}
+	r.Addf("boundary: lightest stage cut of the planner's config-C plan at the profiling micro-batch")
+	return r
+}
+
+// Table2 regenerates Table II: the benchmark zoo with parameter counts and
+// single-device training memory at the profiling micro-batch.
+func Table2(Options) *Report {
+	r := &Report{ID: "table2", Title: "Benchmark models",
+		Header: []string{"Model", "Layers", "#Params", "ProfileBatch", "GBS", "TrainMem"}}
+	for _, m := range model.Zoo() {
+		mem := m.OptimizerStateBytes(m.TotalParamBytes()) +
+			m.RangeStoredBytes(0, m.NumLayers(), m.ProfileBatch) + m.WorkspaceBytes
+		r.Add(m.Name,
+			fmt.Sprint(m.NumLayers()),
+			fmt.Sprintf("%.0fM", float64(m.TotalParams())/1e6),
+			fmt.Sprint(m.ProfileBatch),
+			fmt.Sprint(m.DefaultGBS),
+			stats.Bytes(mem))
+	}
+	r.Addf("TrainMem = optimizer state (param+grad+slots) + retained activations + workspace")
+	r.Addf("paper Table II memory: GNMT 3.9GB, BERT 11.4GB, XLNet 12GB, ResNet 1GB, VGG 5.6GB, AmoebaNet 20GB (>16GB device: DP infeasible)")
+	return r
+}
+
+// Table3 prints Table III's hardware configurations as modeled.
+func Table3(Options) *Report {
+	r := &Report{ID: "table3", Title: "Hardware configurations",
+		Header: []string{"Config", "Servers", "GPUs/server", "Intra", "Inter", "Memory"}}
+	for _, k := range []string{"A", "B", "C"} {
+		c := hardware.StandardConfigs()[k]
+		intra := "n/a"
+		if c.GPUsPerServer > 1 {
+			intra = fmt.Sprintf("NVLink %.0fGB/s", c.IntraBW/1e9)
+		}
+		r.Add(k, fmt.Sprint(c.Servers), fmt.Sprint(c.GPUsPerServer), intra,
+			fmt.Sprintf("%.2fGB/s", c.InterBW/1e9), stats.Bytes(c.DeviceMemory))
+	}
+	return r
+}
+
+// Table4 regenerates Table IV: normalized training throughput of warmup
+// policy PB over PA on config A, using each model's planned strategy. Models
+// with a notable activation-communication ratio benefit from the deeper
+// warmup; compute-dominated transformers do not.
+func Table4(opts Options) *Report {
+	r := &Report{ID: "table4", Title: "Scheduling policy speedup (PB vs PA, config A)",
+		Header: []string{"Model", "ACR", "PA thpt", "PB thpt", "PB/PA", "paper"}}
+	paper := map[string]string{"BERT-48": "1.0", "XLNet-36": "1.02", "VGG-19": "1.1", "GNMT-16": "1.31"}
+	c := hardware.ConfigA(2)
+	for _, name := range []string{"BERT-48", "XLNet-36", "VGG-19", "GNMT-16"} {
+		m := model.ByName(name)
+		pr, err := planner.Plan(m, c, plannerOpts(opts, 0))
+		if err != nil {
+			r.Addf("%s: %v", name, err)
+			continue
+		}
+		pa := schedule.MustRun(pr.Plan, schedule.Options{Policy: schedule.DapplePA, Recompute: pr.NeedsRecompute})
+		pb := schedule.MustRun(pr.Plan, schedule.Options{Policy: schedule.DapplePB, Recompute: pr.NeedsRecompute})
+		r.Add(name,
+			fmt.Sprintf("%.3f", pr.Plan.ACR()),
+			fmt.Sprintf("%.1f", pa.Throughput()),
+			fmt.Sprintf("%.1f", pb.Throughput()),
+			fmt.Sprintf("%.2f", stats.Ratio(pb.Throughput(), pa.Throughput())),
+			paper[name])
+	}
+	return r
+}
+
+// table5Paper is the published plan per (model, config) for the notes column.
+var table5Paper = map[string]string{
+	"ResNet-50/A": "DP", "ResNet-50/B": "DP", "ResNet-50/C": "DP",
+	"VGG-19/A": "DP", "VGG-19/B": "DP", "VGG-19/C": "15:1 @ 13:6",
+	"GNMT-16/A": "8:8 @ 9:7", "GNMT-16/B": "8:8 @ 9:7", "GNMT-16/C": "Straight",
+	"BERT-48/A": "8:8 @ 23:25", "BERT-48/B": "Straight", "BERT-48/C": "Straight",
+	"XLNet-36/A": "8:8 @ 18:18", "XLNet-36/B": "8:8 @ 18:18", "XLNet-36/C": "Straight",
+	"AmoebaNet-36/A": "8:8 @ 24:12", "AmoebaNet-36/B": "11:5 @ 27:9", "AmoebaNet-36/C": "11:5 @ 27:9",
+}
+
+// Table5 regenerates Table V: the planner's output plan, split position and
+// ACR for every benchmark on the three 16-device environments.
+func Table5(opts Options) *Report {
+	r := &Report{ID: "table5", Title: "DAPPLE planning results (16 devices)",
+		Header: []string{"Model(GBS)", "Config", "Output plan", "Split", "ACR", "Speedup", "paper plan"}}
+	for _, m := range model.Zoo() {
+		for _, k := range []string{"A", "B", "C"} {
+			c := hardware.StandardConfigs()[k]
+			pr, err := planner.Plan(m, c, plannerOpts(opts, 0))
+			if err != nil {
+				r.Add(fmt.Sprintf("%s(%d)", m.Name, m.DefaultGBS), k, "infeasible", "-", "-", "-",
+					table5Paper[m.Name+"/"+k])
+				continue
+			}
+			p := pr.Plan
+			plan := p.Kind().String()
+			split := "-"
+			if p.Kind() != core.KindDP {
+				plan = p.ReplicaString()
+				split = p.SplitString()
+			}
+			r.Add(fmt.Sprintf("%s(%d)", m.Name, m.DefaultGBS), k, plan, split,
+				fmt.Sprintf("%.2f", p.ACR()),
+				fmt.Sprintf("%.2fx", pr.Speedup),
+				table5Paper[m.Name+"/"+k])
+		}
+	}
+	return r
+}
+
+// Table6 regenerates Table VI: DAPPLE vs GPipe throughput and average peak
+// memory on a 2-stage BERT-48 pipeline (config B, micro-batch 2), with and
+// without re-computation, across micro-batch counts M.
+func Table6(Options) *Report {
+	r := &Report{ID: "table6", Title: "DAPPLE vs GPipe (BERT-48, 2-stage, config B, micro-batch 2)",
+		Header: []string{"Schedule", "M", "Throughput(samples/s)", "AvgPeakMem", "OOM"}}
+	m := model.BERT48()
+	c := hardware.ConfigB(2)
+	type variant struct {
+		name      string
+		policy    schedule.Policy
+		recompute bool
+		ms        []int
+	}
+	variants := []variant{
+		{"GPipe", schedule.GPipe, false, []int{2, 5, 8, 16}},
+		{"GPipe+RC", schedule.GPipe, true, []int{2, 5, 8, 16}},
+		{"DAPPLE", schedule.DapplePA, false, []int{2, 8, 16}},
+		{"DAPPLE+RC", schedule.DapplePA, true, []int{2, 8, 16}},
+	}
+	var dappleMem, gpipeMem, dappleRCMem float64
+	var gpipeThpt, dappleThpt float64
+	for _, v := range variants {
+		for _, M := range v.ms {
+			plan := baselines.GPipePlan(m, c, M*m.ProfileBatch, 2)
+			res := schedule.MustRun(plan, schedule.Options{Policy: v.policy, Recompute: v.recompute, M: M})
+			oom := ""
+			if res.OOM {
+				oom = fmt.Sprintf("OOM(stage %d)", res.OOMStage)
+			}
+			r.Add(v.name, fmt.Sprint(M),
+				fmt.Sprintf("%.2f", res.Throughput()),
+				stats.BytesF(res.AvgPeakMem), oom)
+			switch {
+			case v.name == "GPipe" && M == 2:
+				gpipeMem, gpipeThpt = res.AvgPeakMem, res.Throughput()
+			case v.name == "DAPPLE" && M == 16:
+				dappleMem, dappleThpt = res.AvgPeakMem, res.Throughput()
+			case v.name == "DAPPLE+RC" && M == 16:
+				dappleRCMem = res.AvgPeakMem
+			}
+		}
+	}
+	r.Addf("DAPPLE(M=16) vs GPipe(M=2): %.2fx throughput at %.2fx memory (paper: 1.6x at 0.88x)",
+		stats.Ratio(dappleThpt, gpipeThpt), stats.Ratio(dappleMem, gpipeMem))
+	r.Addf("DAPPLE+RC(M=16) vs GPipe: %.2fx memory (paper: 0.70x)", stats.Ratio(dappleRCMem, gpipeMem))
+	r.Addf("DAPPLE peak memory is independent of M (early backward scheduling); GPipe grows O(M)")
+	return r
+}
+
+// Table7 regenerates Table VII: DAPPLE vs PipeDream planner strategies on a
+// 2x8 config-A cluster, printed as (start,end)@[GPUs] blocks.
+func Table7(opts Options) *Report {
+	r := &Report{ID: "table7", Title: "Strategies: DAPPLE planner vs PipeDream planner (2x8 config A)",
+		Header: []string{"Model(GBS)", "Planner", "Strategy"}}
+	c := hardware.ConfigA(2)
+	cases := []struct {
+		m   *model.Model
+		gbs int
+	}{
+		{model.VGG19(), 1024},
+		{model.AmoebaNet36(), 128},
+		{model.BERT(24), 128}, // BERT Large
+		{model.XLNet36(), 128},
+	}
+	for _, tc := range cases {
+		pr, err := planner.Plan(tc.m, c, plannerOpts(opts, tc.gbs))
+		if err != nil {
+			r.Add(fmt.Sprintf("%s(%d)", tc.m.Name, tc.gbs), "DAPPLE", "infeasible")
+		} else {
+			r.Add(fmt.Sprintf("%s(%d)", tc.m.Name, tc.gbs), "DAPPLE", strategyString(pr.Plan))
+		}
+		pd := baselines.PipeDream(tc.m, c, tc.gbs)
+		r.Add("", "PipeDream", strategyString(pd))
+	}
+	return r
+}
+
+// strategyString renders a plan the way Table VII does.
+func strategyString(p *core.Plan) string {
+	if p.Kind() == core.KindStraight && p.NumStages() == p.Cluster.NumDevices() {
+		return "straight"
+	}
+	s := ""
+	for i, st := range p.Stages {
+		if i > 0 {
+			s += "  "
+		}
+		if len(st.Devices) == 1 {
+			s += fmt.Sprintf("(%d,%d)@G%d", st.Lo, st.Hi, st.Devices[0])
+		} else {
+			s += fmt.Sprintf("(%d,%d)@[G%d-G%d]", st.Lo, st.Hi,
+				st.Devices[0], st.Devices[len(st.Devices)-1])
+		}
+	}
+	return s
+}
+
+// Table8 regenerates Table VIII: the maximum BERT depth DAPPLE +
+// re-computation supports per pipeline width on config A, with total
+// parameter state and average GPU utilization.
+func Table8(Options) *Report {
+	r := &Report{ID: "table8", Title: "Weak scaling: max BERT under DAPPLE+recompute (16GB V100s)",
+		Header: []string{"Config", "BERT-L", "#Params", "ParamState", "AvgUtil", "paper L"}}
+	paper := map[int]string{1: "48", 2: "106", 4: "215", 8: "428"}
+	for _, width := range []int{1, 2, 4, 8} {
+		l := maxBERTLayers(width)
+		m := model.BERT(l)
+		state := m.OptimizerStateBytes(m.TotalParamBytes())
+		util := "-"
+		if width > 1 {
+			c := hardware.ConfigA(1)
+			plan := baselines.GPipePlan(m, c, m.DefaultGBS, width)
+			res := schedule.MustRun(plan, schedule.Options{Policy: schedule.DapplePA, Recompute: true})
+			var u float64
+			for i := range plan.Stages {
+				u += res.Sim.Utilization(res.StageResource(i))
+			}
+			util = fmt.Sprintf("%.0f%%", 100*u/float64(width))
+		}
+		r.Add(fmt.Sprintf("Pipeline-%d", width), fmt.Sprint(l),
+			fmt.Sprintf("%.1fB", float64(m.TotalParams())/1e9),
+			stats.Bytes(state), util, paper[width])
+	}
+	r.Addf("each parameter needs 16 bytes (Adam: param+grad+m+v); max depth scales linearly with pipeline width")
+	return r
+}
+
+// maxBERTLayers binary-searches the deepest BERT that fits width devices
+// under DAPPLE + re-computation.
+func maxBERTLayers(width int) int {
+	fits := func(l int) bool {
+		if l < width {
+			return false
+		}
+		m := model.BERT(l)
+		c := hardware.ConfigA(1)
+		if width > c.GPUsPerServer {
+			c = hardware.ConfigA((width + 7) / 8)
+		}
+		plan := baselines.GPipePlan(m, c, m.DefaultGBS, width)
+		return planner.FitsMemory(plan, true)
+	}
+	lo, hi := width, 2048
+	for !fits(lo) && lo < hi {
+		lo++
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// plannerOpts derives planner options from experiment options.
+func plannerOpts(o Options, gbs int) planner.Options {
+	po := planner.Options{GBS: gbs}
+	if o.Quick {
+		po.PruneSlack = 1.25
+		po.Finalists = 8
+	}
+	return po
+}

@@ -1,0 +1,80 @@
+package hardware
+
+// The three hardware configurations of Table III in the paper. All use V100
+// GPUs with 16 GB of device memory; they differ in how GPUs are grouped and
+// interconnected:
+//
+//	Config A: 8× V100 per server, NVLink intra-server, 25 Gbps Ethernet.
+//	Config B: 1× V100 per server, 25 Gbps Ethernet.
+//	Config C: 1× V100 per server, 10 Gbps Ethernet.
+//
+// Bandwidth figures follow the paper: NVLink "up to 130 GB/s" (§VI-B),
+// Ethernet at nominal line rate derated to ~85% achievable goodput, which is
+// what collective libraries sustain in practice.
+const (
+	nvlinkBW   = 130e9           // bytes/sec
+	ether25BW  = 25e9 / 8 * 0.85 // 25 Gbps -> bytes/sec goodput
+	ether10BW  = 10e9 / 8 * 0.85 // 10 Gbps -> bytes/sec goodput
+	nvlinkLat  = 3e-6            // seconds
+	etherLat   = 50e-6           // seconds
+	v100Memory = int64(16) * GiB // bytes
+	v100FLOPS  = 14e12           // sustained fp32 FLOP/s
+)
+
+// ConfigA returns the hierarchical topology: servers with 8 NVLink-connected
+// V100s each, joined by 25 Gbps Ethernet.
+func ConfigA(servers int) Cluster {
+	return Cluster{
+		Name:          "config-A",
+		Servers:       servers,
+		GPUsPerServer: 8,
+		IntraBW:       nvlinkBW,
+		IntraLatency:  nvlinkLat,
+		InterBW:       ether25BW,
+		InterLatency:  etherLat,
+		DeviceMemory:  v100Memory,
+		DeviceFLOPS:   v100FLOPS,
+	}
+}
+
+// ConfigB returns the flat topology: one V100 per server, 25 Gbps Ethernet.
+func ConfigB(servers int) Cluster {
+	return Cluster{
+		Name:          "config-B",
+		Servers:       servers,
+		GPUsPerServer: 1,
+		IntraBW:       nvlinkBW, // unused: single GPU per server
+		IntraLatency:  nvlinkLat,
+		InterBW:       ether25BW,
+		InterLatency:  etherLat,
+		DeviceMemory:  v100Memory,
+		DeviceFLOPS:   v100FLOPS,
+	}
+}
+
+// ConfigC returns the flat topology with slow network: one V100 per server,
+// 10 Gbps Ethernet.
+func ConfigC(servers int) Cluster {
+	return Cluster{
+		Name:          "config-C",
+		Servers:       servers,
+		GPUsPerServer: 1,
+		IntraBW:       nvlinkBW,
+		IntraLatency:  nvlinkLat,
+		InterBW:       ether10BW,
+		InterLatency:  etherLat,
+		DeviceMemory:  v100Memory,
+		DeviceFLOPS:   v100FLOPS,
+	}
+}
+
+// StandardConfigs returns the paper's three 16-device environments keyed by
+// their Table III names: config A as 2 servers × 8 GPUs, configs B and C as
+// 16 × 1.
+func StandardConfigs() map[string]Cluster {
+	return map[string]Cluster{
+		"A": ConfigA(2),
+		"B": ConfigB(16),
+		"C": ConfigC(16),
+	}
+}

@@ -1,0 +1,192 @@
+// Package model defines the per-layer profile representation the DAPPLE
+// planner consumes, plus a synthetic model zoo reproducing the six benchmark
+// networks of the paper (GNMT-16, BERT-48, XLNet-36, ResNet-50, VGG-19,
+// AmoebaNet-36).
+//
+// A Model is exactly what the paper's profiler emits: for every layer, the
+// forward/backward compute time at a reference micro-batch size, the output
+// (boundary) activation bytes, the total intermediate activation bytes that
+// must be held for the backward pass, and the parameter bytes. Times and
+// activation sizes scale linearly with batch size, which is the same
+// assumption the paper's planner makes.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Layer is one profiled pipeline-splittable unit of a model.
+type Layer struct {
+	Name string
+
+	// FwdTime and BwdTime are compute seconds at ProfileBatch samples.
+	FwdTime float64
+	BwdTime float64
+
+	// OutputBytes is the activation volume crossing the boundary after this
+	// layer at ProfileBatch samples — what must be sent to the next stage if
+	// the model is split here.
+	OutputBytes int64
+
+	// StoredBytes is the total intermediate state this layer keeps alive
+	// between its forward and backward pass at ProfileBatch samples.
+	StoredBytes int64
+
+	// ParamBytes is the fp32 parameter volume of the layer.
+	ParamBytes int64
+}
+
+// Model is a profiled DNN: an ordered list of layers plus the batch-size
+// context the profile was taken at.
+type Model struct {
+	Name   string
+	Layers []Layer
+
+	// ProfileBatch is the micro-batch size the per-layer numbers refer to
+	// (the "cbch size" column of Table II).
+	ProfileBatch int
+
+	// DefaultGBS is the paper's global batch size for this benchmark.
+	DefaultGBS int
+
+	// OptimizerBytesPerParam is the total training state per fp32 parameter:
+	// 16 for Adam (param+grad+m+v), 12 for SGD-momentum and RMSProp
+	// (param+grad+slot).
+	OptimizerBytesPerParam int
+
+	// WorkspaceBytes is the fixed per-device framework/workspace overhead
+	// (cuDNN workspaces, runtime buffers).
+	WorkspaceBytes int64
+}
+
+// Optimizer state sizes in bytes per fp32 parameter.
+const (
+	AdamBytesPerParam     = 16 // param + grad + m + v
+	MomentumBytesPerParam = 12 // param + grad + momentum
+	RMSPropBytesPerParam  = 12 // param + grad + mean-square
+)
+
+// NumLayers returns the number of pipeline-splittable layers.
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// TotalParamBytes returns the fp32 parameter volume of the whole model.
+func (m *Model) TotalParamBytes() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.ParamBytes
+	}
+	return sum
+}
+
+// TotalParams returns the parameter count (fp32 elements).
+func (m *Model) TotalParams() int64 { return m.TotalParamBytes() / 4 }
+
+// GradientBytes returns the gradient volume synchronized per iteration,
+// equal to the fp32 parameter volume.
+func (m *Model) GradientBytes() int64 { return m.TotalParamBytes() }
+
+// scale converts a per-ProfileBatch quantity to a micro-batch of mb samples.
+func (m *Model) scale(v float64, mb int) float64 {
+	return v * float64(mb) / float64(m.ProfileBatch)
+}
+
+// FwdTime returns the forward time of layer i at micro-batch size mb.
+func (m *Model) FwdTime(i, mb int) float64 { return m.scale(m.Layers[i].FwdTime, mb) }
+
+// BwdTime returns the backward time of layer i at micro-batch size mb.
+func (m *Model) BwdTime(i, mb int) float64 { return m.scale(m.Layers[i].BwdTime, mb) }
+
+// OutputBytes returns the boundary activation bytes after layer i at
+// micro-batch size mb.
+func (m *Model) OutputBytes(i, mb int) int64 {
+	return int64(m.scale(float64(m.Layers[i].OutputBytes), mb))
+}
+
+// StoredBytes returns the retained activation bytes of layer i at micro-batch
+// size mb.
+func (m *Model) StoredBytes(i, mb int) int64 {
+	return int64(m.scale(float64(m.Layers[i].StoredBytes), mb))
+}
+
+// RangeFwdTime sums forward time of layers [lo, hi) at micro-batch size mb.
+func (m *Model) RangeFwdTime(lo, hi, mb int) float64 {
+	var sum float64
+	for i := lo; i < hi; i++ {
+		sum += m.Layers[i].FwdTime
+	}
+	return m.scale(sum, mb)
+}
+
+// RangeBwdTime sums backward time of layers [lo, hi) at micro-batch size mb.
+func (m *Model) RangeBwdTime(lo, hi, mb int) float64 {
+	var sum float64
+	for i := lo; i < hi; i++ {
+		sum += m.Layers[i].BwdTime
+	}
+	return m.scale(sum, mb)
+}
+
+// RangeParamBytes sums parameter bytes of layers [lo, hi).
+func (m *Model) RangeParamBytes(lo, hi int) int64 {
+	var sum int64
+	for i := lo; i < hi; i++ {
+		sum += m.Layers[i].ParamBytes
+	}
+	return sum
+}
+
+// RangeStoredBytes sums retained activation bytes of layers [lo, hi) at
+// micro-batch size mb.
+func (m *Model) RangeStoredBytes(lo, hi, mb int) int64 {
+	var sum int64
+	for i := lo; i < hi; i++ {
+		sum += m.Layers[i].StoredBytes
+	}
+	return int64(m.scale(float64(sum), mb))
+}
+
+// IterFwdTime returns the forward time of the full model at micro-batch mb.
+func (m *Model) IterFwdTime(mb int) float64 { return m.RangeFwdTime(0, len(m.Layers), mb) }
+
+// IterBwdTime returns the backward time of the full model at micro-batch mb.
+func (m *Model) IterBwdTime(mb int) float64 { return m.RangeBwdTime(0, len(m.Layers), mb) }
+
+// SingleDeviceIterTime returns the time to execute one full global batch of
+// gbs samples on one device by sequentially accumulating micro-batches of
+// ProfileBatch samples — the denominator of the paper's speedup metric.
+func (m *Model) SingleDeviceIterTime(gbs int) float64 {
+	steps := float64(gbs) / float64(m.ProfileBatch)
+	return steps * (m.IterFwdTime(m.ProfileBatch) + m.IterBwdTime(m.ProfileBatch))
+}
+
+// OptimizerStateBytes returns the optimizer-inclusive training-state bytes
+// for params parameter-bytes worth of fp32 weights.
+func (m *Model) OptimizerStateBytes(paramBytes int64) int64 {
+	return paramBytes / 4 * int64(m.OptimizerBytesPerParam)
+}
+
+// Validate checks profile consistency.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return errors.New("model: no layers")
+	}
+	if m.ProfileBatch <= 0 {
+		return fmt.Errorf("model %s: profile batch %d", m.Name, m.ProfileBatch)
+	}
+	for i, l := range m.Layers {
+		if l.FwdTime < 0 || l.BwdTime < 0 {
+			return fmt.Errorf("model %s: layer %d (%s) has negative time", m.Name, i, l.Name)
+		}
+		if l.OutputBytes < 0 || l.StoredBytes < 0 || l.ParamBytes < 0 {
+			return fmt.Errorf("model %s: layer %d (%s) has negative size", m.Name, i, l.Name)
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s: %d layers, %.1fM params, profile batch %d",
+		m.Name, len(m.Layers), float64(m.TotalParams())/1e6, m.ProfileBatch)
+}

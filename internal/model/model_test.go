@@ -1,0 +1,218 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZooCalibration(t *testing.T) {
+	// Parameter totals within 5% of the paper's Table II.
+	want := map[string]float64{
+		"GNMT-16":      291e6,
+		"BERT-48":      640e6,
+		"XLNet-36":     500e6,
+		"ResNet-50":    24.5e6,
+		"VGG-19":       137e6,
+		"AmoebaNet-36": 933e6,
+	}
+	tol := map[string]float64{"ResNet-50": 0.25, "VGG-19": 0.06}
+	for _, m := range Zoo() {
+		got := float64(m.TotalParams())
+		eps := tol[m.Name]
+		if eps == 0 {
+			eps = 0.05
+		}
+		if math.Abs(got-want[m.Name]) > eps*want[m.Name] {
+			t.Errorf("%s: %.1fM params, paper %.1fM", m.Name, got/1e6, want[m.Name]/1e6)
+		}
+	}
+}
+
+func TestZooValidates(t *testing.T) {
+	for _, m := range Zoo() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestVGGShape(t *testing.T) {
+	m := VGG19()
+	if m.NumLayers() != 19 {
+		t.Fatalf("VGG-19 has %d layers", m.NumLayers())
+	}
+	// ~70%+ of weights in the fc layers (paper §VI-C).
+	fc := m.RangeParamBytes(16, 19)
+	if frac := float64(fc) / float64(m.TotalParamBytes()); frac < 0.70 {
+		t.Fatalf("fc layers hold %.0f%% of weights, want >= 70%%", frac*100)
+	}
+	// Activations shrink front to back (first conv output >> last conv).
+	if m.Layers[0].OutputBytes < 50*m.Layers[15].OutputBytes {
+		t.Fatalf("activation decay missing: %d vs %d",
+			m.Layers[0].OutputBytes, m.Layers[15].OutputBytes)
+	}
+	// fc compute is a tiny share.
+	fcT := m.RangeFwdTime(16, 19, 32)
+	if frac := fcT / m.IterFwdTime(32); frac > 0.05 {
+		t.Fatalf("fc layers take %.1f%% of compute, want < 5%%", frac*100)
+	}
+}
+
+func TestGNMTShape(t *testing.T) {
+	m := GNMT16()
+	if m.NumLayers() != 16 {
+		t.Fatalf("GNMT-16 has %d layers", m.NumLayers())
+	}
+	// Decoder layers ~1.45x encoder compute (paper §VI-C).
+	ratio := m.Layers[12].FwdTime / m.Layers[3].FwdTime
+	if math.Abs(ratio-1.45) > 0.01 {
+		t.Fatalf("decoder/encoder ratio %.2f, want 1.45", ratio)
+	}
+}
+
+func TestAmoebaNetShape(t *testing.T) {
+	m := AmoebaNet36()
+	// Last third holds ~73% of parameters (paper §VI-C).
+	tail := m.RangeParamBytes(24, 36)
+	frac := float64(tail) / float64(m.TotalParamBytes())
+	if math.Abs(frac-0.73) > 0.02 {
+		t.Fatalf("last third holds %.0f%% of params, want 73%%", frac*100)
+	}
+	// Compute ramp within +40%.
+	ramp := m.Layers[35].FwdTime / m.Layers[0].FwdTime
+	if math.Abs(ramp-1.4) > 0.01 {
+		t.Fatalf("compute ramp %.2f, want 1.40", ramp)
+	}
+}
+
+func TestBERTUniformityAndScaling(t *testing.T) {
+	m := BERT48()
+	if m.NumLayers() != 48 {
+		t.Fatalf("BERT-48 has %d layers", m.NumLayers())
+	}
+	// Middle layers are uniform.
+	for i := 2; i < 46; i++ {
+		if m.Layers[i].FwdTime != m.Layers[1].FwdTime {
+			t.Fatalf("layer %d not uniform", i)
+		}
+	}
+	// Deeper variants scale parameters linearly (Table VIII).
+	b96 := BERT(96)
+	perLayer48 := float64(m.TotalParamBytes()) / 48
+	perLayer96 := float64(b96.TotalParamBytes()) / 96
+	if math.Abs(perLayer96-perLayer48)/perLayer48 > 0.05 {
+		t.Fatalf("per-layer params not stable: %.1f vs %.1f", perLayer48, perLayer96)
+	}
+}
+
+func TestScalingLinearity(t *testing.T) {
+	m := BERT48()
+	if got, want := m.FwdTime(5, 4), 2*m.FwdTime(5, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FwdTime not linear: %g vs %g", got, want)
+	}
+	if got, want := m.OutputBytes(5, 8), int64(4)*m.OutputBytes(5, 2); got != want {
+		t.Fatalf("OutputBytes not linear: %d vs %d", got, want)
+	}
+}
+
+func TestRangeSums(t *testing.T) {
+	m := Synthetic(10, 1e-3, 100, 200, 400)
+	if got := m.RangeFwdTime(0, 10, 1); math.Abs(got-10e-3) > 1e-12 {
+		t.Fatalf("RangeFwdTime = %g", got)
+	}
+	if got := m.RangeBwdTime(2, 5, 1); math.Abs(got-3*2e-3) > 1e-12 {
+		t.Fatalf("RangeBwdTime = %g", got)
+	}
+	if got := m.RangeParamBytes(0, 10); got != 4000 {
+		t.Fatalf("RangeParamBytes = %d", got)
+	}
+	if got := m.RangeStoredBytes(1, 3, 2); got != 800 {
+		t.Fatalf("RangeStoredBytes = %d", got)
+	}
+}
+
+// Property: range sums are additive over adjacent ranges.
+func TestRangeAdditivityProperty(t *testing.T) {
+	m := BERT48()
+	f := func(a8, b8, c8 uint8) bool {
+		n := m.NumLayers()
+		a, b, c := int(a8)%n, int(b8)%n, int(c8)%n
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		whole := m.RangeFwdTime(a, c, 2)
+		split := m.RangeFwdTime(a, b, 2) + m.RangeFwdTime(b, c, 2)
+		return math.Abs(whole-split) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleDeviceIterTime(t *testing.T) {
+	m := Synthetic(4, 1e-3, 0, 0, 0) // fwd 4ms, bwd 8ms per micro-batch of 1
+	got := m.SingleDeviceIterTime(8)
+	if math.Abs(got-8*12e-3) > 1e-12 {
+		t.Fatalf("SingleDeviceIterTime = %g", got)
+	}
+}
+
+func TestOptimizerStateBytes(t *testing.T) {
+	m := BERT48() // Adam: 16 bytes/param
+	params := m.TotalParamBytes()
+	if got := m.OptimizerStateBytes(params); got != params*4 {
+		t.Fatalf("Adam state = %d, want %d", got, params*4)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := &Model{Name: "empty", ProfileBatch: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for empty model")
+	}
+	m := Synthetic(2, 1e-3, 0, 0, 0)
+	m.ProfileBatch = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for zero profile batch")
+	}
+	m = Synthetic(2, 1e-3, 0, 0, 0)
+	m.Layers[0].FwdTime = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for negative time")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("BERT-48") == nil {
+		t.Fatal("BERT-48 missing")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown model should return nil")
+	}
+}
+
+func TestMemoryCalibration(t *testing.T) {
+	// AmoebaNet-36 must not fit one 16 GB device (Table II: DP infeasible);
+	// the transformers must fit.
+	const limit = int64(16) << 30
+	foot := func(m *Model) int64 {
+		return m.OptimizerStateBytes(m.TotalParamBytes()) +
+			m.RangeStoredBytes(0, m.NumLayers(), m.ProfileBatch) + m.WorkspaceBytes
+	}
+	if foot(AmoebaNet36()) <= limit {
+		t.Fatal("AmoebaNet-36 should exceed 16GB on one device")
+	}
+	if foot(BERT48()) > limit {
+		t.Fatal("BERT-48 should fit one device at micro-batch 2")
+	}
+	if foot(XLNet36()) > limit {
+		t.Fatal("XLNet-36 should fit one device at micro-batch 1")
+	}
+}

@@ -1,0 +1,350 @@
+package model
+
+import "fmt"
+
+// The zoo reproduces the six benchmarks of Table II. Per-layer numbers are
+// calibrated against every statistic the paper publishes:
+//
+//   - parameter totals and gradient volumes (Tables I, II),
+//   - boundary activation sizes at the planner's split points (Table I),
+//   - memory footprints (Table II, Table VI, Table VIII),
+//   - workload shape prose (§VI-B/C): VGG-19 holds ~70% of weights in the
+//     final fc layers with activations shrinking front-to-back; GNMT decoder
+//     layers cost ~1.45x encoder layers; BERT/XLNet are uniform stacks;
+//     AmoebaNet's last third holds 73% of parameters with a compute ramp
+//     within +40%.
+//
+// Compute times assume a sustained 7 TFLOP/s fp32 device (half of a V100's
+// peak), the utilization the paper's TF kernels typically reach.
+const (
+	mb  = int64(1) << 20 // mebibyte
+	gib = int64(1) << 30 // gibibyte
+
+	sustainedFLOPS = 7e12
+)
+
+// flopsTime converts forward FLOPs to seconds on the reference device.
+func flopsTime(flops float64) float64 { return flops / sustainedFLOPS }
+
+// BERT returns a BERT-style uniform transformer stack with l encoder layers
+// (BERT-48 in the paper; other depths feed the weak-scaling study of Table
+// VIII). Profile micro-batch 2, sequence length 384 (SQuAD), hidden 1024.
+func BERT(l int) *Model {
+	const (
+		paramsPerLayer = 12.6e6 // 12 h^2 + layer norms, h = 1024
+		embedParams    = 31.3e6 // 30k vocab x 1024 + positional
+		headParams     = 2.1e6  // span head + pooler
+		fwdPerLayer    = 3.0e-3 // seconds @ micro-batch 2
+		outBytes       = 88 * mb / 10
+		storedBytes    = 60 * mb // retained activations @ micro-batch 2
+	)
+	layers := make([]Layer, l)
+	for i := range layers {
+		layers[i] = Layer{
+			Name:        fmt.Sprintf("enc%02d", i),
+			FwdTime:     fwdPerLayer,
+			BwdTime:     2 * fwdPerLayer,
+			OutputBytes: outBytes,
+			StoredBytes: storedBytes,
+			ParamBytes:  int64(paramsPerLayer * 4),
+		}
+	}
+	// Embedding folds into the first layer, task head into the last: they are
+	// not worth separate pipeline stages but their parameters matter for
+	// gradient sync.
+	layers[0].ParamBytes += int64(embedParams * 4)
+	layers[0].FwdTime *= 1.15
+	layers[0].BwdTime *= 1.15
+	layers[l-1].ParamBytes += int64(headParams * 4)
+	layers[l-1].FwdTime *= 1.10
+	layers[l-1].BwdTime *= 1.10
+	return &Model{
+		Name:                   fmt.Sprintf("BERT-%d", l),
+		Layers:                 layers,
+		ProfileBatch:           2,
+		DefaultGBS:             64,
+		OptimizerBytesPerParam: AdamBytesPerParam,
+		WorkspaceBytes:         3 * gib / 2,
+	}
+}
+
+// BERT48 returns the paper's main language-model benchmark.
+func BERT48() *Model { return BERT(48) }
+
+// XLNet36 returns the 36-layer XLNet benchmark: uniform transformer stack
+// with two-stream attention (memory-heavier than BERT), profile micro-batch 1
+// at sequence length 512.
+func XLNet36() *Model {
+	const (
+		l              = 36
+		paramsPerLayer = 13.0e6
+		embedParams    = 31.3e6
+		fwdPerLayer    = 4.0e-3 // seconds @ micro-batch 1
+		outBytes       = 42 * mb / 10
+		storedBytes    = 110 * mb
+	)
+	layers := make([]Layer, l)
+	for i := range layers {
+		layers[i] = Layer{
+			Name:        fmt.Sprintf("xl%02d", i),
+			FwdTime:     fwdPerLayer,
+			BwdTime:     2 * fwdPerLayer,
+			OutputBytes: outBytes,
+			StoredBytes: storedBytes,
+			ParamBytes:  int64(paramsPerLayer * 4),
+		}
+	}
+	layers[0].ParamBytes += int64(embedParams * 4)
+	layers[0].FwdTime *= 1.15
+	layers[0].BwdTime *= 1.15
+	return &Model{
+		Name:                   "XLNet-36",
+		Layers:                 layers,
+		ProfileBatch:           1,
+		DefaultGBS:             128,
+		OptimizerBytesPerParam: AdamBytesPerParam,
+		WorkspaceBytes:         3 * gib / 2,
+	}
+}
+
+// GNMT16 returns the 16-layer GNMT translation benchmark: 8 encoder and 8
+// decoder LSTM layers (hidden 1024); decoder layers cost ~1.45x encoder
+// layers. Embedding parameters fold into the first encoder layer, the output
+// projection into the last decoder layer. Profile micro-batch 64.
+func GNMT16() *Model {
+	const (
+		paramsPerLayer = 12.05e6 // 8 h^2 LSTM + attention share
+		embedParams    = 65.5e6  // src+tgt vocab embeddings
+		projParams     = 33.5e6  // output projection
+		encFwd         = 14.0e-3 // seconds @ micro-batch 64
+		decRatio       = 1.45
+		outBytes       = 26 * mb
+		storedBytes    = 100 * mb
+	)
+	layers := make([]Layer, 16)
+	for i := range layers {
+		name, fwd := fmt.Sprintf("enc%d", i), encFwd
+		if i >= 8 {
+			name, fwd = fmt.Sprintf("dec%d", i-8), encFwd*decRatio
+		}
+		layers[i] = Layer{
+			Name:        name,
+			FwdTime:     fwd,
+			BwdTime:     2 * fwd,
+			OutputBytes: outBytes,
+			StoredBytes: storedBytes,
+			ParamBytes:  int64(paramsPerLayer * 4),
+		}
+	}
+	layers[0].ParamBytes += int64(embedParams * 4)
+	layers[15].ParamBytes += int64(projParams * 4)
+	return &Model{
+		Name:                   "GNMT-16",
+		Layers:                 layers,
+		ProfileBatch:           64,
+		DefaultGBS:             1024,
+		OptimizerBytesPerParam: AdamBytesPerParam,
+		WorkspaceBytes:         gib,
+	}
+}
+
+// vggConv describes one VGG convolution for the builder below.
+type vggConv struct {
+	name      string
+	cin, cout int
+	outHW     int  // spatial size the conv computes at
+	pooled    bool // 2x2 max-pool after this conv
+}
+
+// VGG19 returns the 19 weight-layer VGG benchmark at profile micro-batch 32.
+// Built from the true architecture so the paper's two key properties hold
+// exactly: activations shrink monotonically front-to-back (411 MB -> 0.5 MB
+// at batch 32) and the fc layers hold ~85% of the weights with ~1% of the
+// compute.
+func VGG19() *Model {
+	convs := []vggConv{
+		{"c1_1", 3, 64, 224, false}, {"c1_2", 64, 64, 224, true},
+		{"c2_1", 64, 128, 112, false}, {"c2_2", 128, 128, 112, true},
+		{"c3_1", 128, 256, 56, false}, {"c3_2", 256, 256, 56, false},
+		{"c3_3", 256, 256, 56, false}, {"c3_4", 256, 256, 56, true},
+		{"c4_1", 256, 512, 28, false}, {"c4_2", 512, 512, 28, false},
+		{"c4_3", 512, 512, 28, false}, {"c4_4", 512, 512, 28, true},
+		{"c5_1", 512, 512, 14, false}, {"c5_2", 512, 512, 14, false},
+		{"c5_3", 512, 512, 14, false}, {"c5_4", 512, 512, 14, true},
+	}
+	const batch = 32
+	layers := make([]Layer, 0, 19)
+	for _, c := range convs {
+		macs := float64(9*c.cin*c.cout) * float64(c.outHW*c.outHW) // k=3
+		outHW := c.outHW
+		if c.pooled {
+			outHW /= 2
+		}
+		outBytes := int64(outHW*outHW*c.cout*4) * batch
+		layers = append(layers, Layer{
+			Name:        c.name,
+			FwdTime:     flopsTime(2 * macs * batch),
+			BwdTime:     flopsTime(4 * macs * batch),
+			OutputBytes: outBytes,
+			StoredBytes: outBytes + outBytes/2,
+			ParamBytes:  int64(9*c.cin*c.cout+c.cout) * 4,
+		})
+	}
+	fcs := []struct {
+		name    string
+		in, out int
+	}{{"fc6", 7 * 7 * 512, 4096}, {"fc7", 4096, 4096}, {"fc8", 4096, 1000}}
+	for _, f := range fcs {
+		macs := float64(f.in * f.out)
+		outBytes := int64(f.out*4) * batch
+		layers = append(layers, Layer{
+			Name:        f.name,
+			FwdTime:     flopsTime(2 * macs * batch),
+			BwdTime:     flopsTime(4 * macs * batch),
+			OutputBytes: outBytes,
+			StoredBytes: 2 * outBytes,
+			ParamBytes:  int64(macs+float64(f.out)) * 4,
+		})
+	}
+	return &Model{
+		Name:                   "VGG-19",
+		Layers:                 layers,
+		ProfileBatch:           batch,
+		DefaultGBS:             2048,
+		OptimizerBytesPerParam: MomentumBytesPerParam,
+		WorkspaceBytes:         gib / 2,
+	}
+}
+
+// ResNet50 returns the image-classification benchmark at profile micro-batch
+// 128: small parameter volume (~25M) with high compute density, the regime
+// where plain data parallelism wins on every interconnect (Table V).
+func ResNet50() *Model {
+	type group struct {
+		blocks   int
+		flops    float64 // forward GFLOPs per block per sample
+		params   float64 // millions per block
+		outBytes int64   // boundary bytes per sample
+	}
+	groups := []group{
+		{3, 0.23e9, 0.25, 56 * 56 * 256 * 4},
+		{4, 0.26e9, 1.22, 28 * 28 * 512 * 4},
+		{6, 0.25e9, 2.10, 14 * 14 * 1024 * 4},
+		{3, 0.21e9, 3.05, 7 * 7 * 2048 * 4},
+	}
+	const batch = 128
+	layers := []Layer{{
+		Name:        "stem",
+		FwdTime:     flopsTime(0.24e9 * batch),
+		BwdTime:     flopsTime(0.48e9 * batch),
+		OutputBytes: 56 * 56 * 64 * 4 * batch,
+		StoredBytes: 56 * 56 * 64 * 4 * batch * 2,
+		ParamBytes:  int64(0.01e6 * 4),
+	}}
+	for g, grp := range groups {
+		for b := 0; b < grp.blocks; b++ {
+			layers = append(layers, Layer{
+				Name:        fmt.Sprintf("res%d_%d", g+2, b),
+				FwdTime:     flopsTime(grp.flops * batch),
+				BwdTime:     flopsTime(2 * grp.flops * batch),
+				OutputBytes: grp.outBytes * batch,
+				StoredBytes: grp.outBytes * batch * 2,
+				ParamBytes:  int64(grp.params * 1e6 * 4),
+			})
+		}
+	}
+	layers = append(layers, Layer{
+		Name:        "fc",
+		FwdTime:     flopsTime(2 * 2048 * 1000 * batch),
+		BwdTime:     flopsTime(4 * 2048 * 1000 * batch),
+		OutputBytes: 1000 * 4 * batch,
+		StoredBytes: 2 * 1000 * 4 * batch,
+		ParamBytes:  2048 * 1000 * 4,
+	})
+	return &Model{
+		Name:                   "ResNet-50",
+		Layers:                 layers,
+		ProfileBatch:           batch,
+		DefaultGBS:             2048,
+		OptimizerBytesPerParam: MomentumBytesPerParam,
+		WorkspaceBytes:         gib / 2,
+	}
+}
+
+// AmoebaNet36 returns the 36-cell AmoebaNet benchmark at profile micro-batch
+// 1: the last 12 cells hold 73% of the 933M parameters, and per-cell compute
+// ramps up by 40% front to back. It does not fit a single 16 GB device, so
+// pipeline parallelism is mandatory (Table V, Fig. 12).
+func AmoebaNet36() *Model {
+	const (
+		cells       = 36
+		earlyParams = 10.5e6  // cells 0-23: 252M total
+		lateParams  = 56.75e6 // cells 24-35: 681M total (73%)
+		baseFwd     = 11.0e-3 // seconds @ micro-batch 1
+		outBytes    = 112 * mb / 10
+		storedBytes = 200 * mb
+	)
+	layers := make([]Layer, cells)
+	for i := range layers {
+		params := earlyParams
+		if i >= 24 {
+			params = lateParams
+		}
+		fwd := baseFwd * (1 + 0.4*float64(i)/float64(cells-1))
+		layers[i] = Layer{
+			Name:        fmt.Sprintf("cell%02d", i),
+			FwdTime:     fwd,
+			BwdTime:     2 * fwd,
+			OutputBytes: outBytes,
+			StoredBytes: storedBytes,
+			ParamBytes:  int64(params * 4),
+		}
+	}
+	return &Model{
+		Name:                   "AmoebaNet-36",
+		Layers:                 layers,
+		ProfileBatch:           1,
+		DefaultGBS:             128,
+		OptimizerBytesPerParam: RMSPropBytesPerParam,
+		WorkspaceBytes:         gib,
+	}
+}
+
+// Zoo returns all six benchmark models of Table II.
+func Zoo() []*Model {
+	return []*Model{GNMT16(), BERT48(), XLNet36(), ResNet50(), VGG19(), AmoebaNet36()}
+}
+
+// ByName returns the zoo model with the given name, or nil.
+func ByName(name string) *Model {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Synthetic builds a uniform n-layer model for tests and micro-benchmarks:
+// each layer takes fwd seconds forward, 2x backward, with the given byte
+// sizes at profile micro-batch 1.
+func Synthetic(n int, fwd float64, outBytes, storedBytes, paramBytes int64) *Model {
+	layers := make([]Layer, n)
+	for i := range layers {
+		layers[i] = Layer{
+			Name:        fmt.Sprintf("L%d", i),
+			FwdTime:     fwd,
+			BwdTime:     2 * fwd,
+			OutputBytes: outBytes,
+			StoredBytes: storedBytes,
+			ParamBytes:  paramBytes,
+		}
+	}
+	return &Model{
+		Name:                   fmt.Sprintf("synthetic-%d", n),
+		Layers:                 layers,
+		ProfileBatch:           1,
+		DefaultGBS:             n * 4,
+		OptimizerBytesPerParam: AdamBytesPerParam,
+	}
+}

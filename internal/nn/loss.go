@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"math"
+
+	"dapple/internal/tensor"
+)
+
+// SoftmaxCrossEntropy returns the mean cross-entropy of logits against the
+// integer labels, and the logits gradient scaled by 1/rows (so summing
+// per-micro-batch gradients then dividing by the micro-batch count reproduces
+// the global-batch mean — the gradient-accumulation identity the paper's
+// equivalence argument relies on).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	rows := logits.Rows
+	grad := tensor.New(rows, logits.Cols)
+	var loss float64
+	for r := 0; r < rows; r++ {
+		row := logits.Row(r)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		g := grad.Row(r)
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			sum += e
+		}
+		for j := range g {
+			g[j] /= sum
+		}
+		loss += -math.Log(math.Max(g[labels[r]], 1e-300))
+		g[labels[r]] -= 1
+	}
+	grad.Scale(1 / float64(rows))
+	return loss / float64(rows), grad
+}
+
+// MSE returns the mean squared error between pred and target and the
+// prediction gradient.
+func MSE(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	grad := pred.Clone()
+	var loss float64
+	n := float64(len(pred.Data))
+	for i := range grad.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}

@@ -1,0 +1,246 @@
+// Package nn is the small neural-network layer library executed by the real
+// concurrent runtime (package train). Layers are reentrant: Forward returns
+// an opaque context instead of mutating layer state, so many micro-batches
+// can be in flight through one layer simultaneously — exactly the property a
+// pipelined schedule needs.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dapple/internal/tensor"
+)
+
+// Param pairs a trainable tensor with its gradient accumulator.
+type Param struct {
+	W *tensor.Matrix
+	G *tensor.Matrix
+}
+
+// Ctx is the per-invocation activation context a layer returns from Forward
+// and consumes in Backward.
+type Ctx any
+
+// Layer is one differentiable block.
+type Layer interface {
+	// Forward computes the layer output for x, returning the stash Backward
+	// will need. Implementations must not retain or mutate x beyond the
+	// returned context.
+	Forward(x *tensor.Matrix) (*tensor.Matrix, Ctx)
+
+	// Backward consumes a context and the output gradient, accumulates
+	// parameter gradients, and returns the input gradient.
+	Backward(ctx Ctx, dy *tensor.Matrix) *tensor.Matrix
+
+	// Params returns the layer's trainable parameters (empty for
+	// activations).
+	Params() []Param
+
+	// Clone returns a layer of identical shape and parameter values with
+	// zeroed gradients.
+	Clone() Layer
+}
+
+// StashBytes reports the approximate bytes a context retains, the quantity
+// the schedule memory model tracks.
+func StashBytes(c Ctx) int64 {
+	switch v := c.(type) {
+	case nil:
+		return 0
+	case *tensor.Matrix:
+		return int64(len(v.Data)) * 8
+	case []*tensor.Matrix:
+		var n int64
+		for _, m := range v {
+			if m != nil {
+				n += int64(len(m.Data)) * 8
+			}
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Dense is a fully connected layer: y = x@W + b.
+type Dense struct {
+	W, B   *tensor.Matrix
+	GW, GB *tensor.Matrix
+}
+
+// NewDense returns a Dense layer with Xavier-uniform weights from rng.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:  tensor.New(in, out),
+		B:  tensor.New(1, out),
+		GW: tensor.New(in, out),
+		GB: tensor.New(1, out),
+	}
+	d.W.Randomize(rng, math.Sqrt(6/float64(in+out)))
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix) (*tensor.Matrix, Ctx) {
+	y := tensor.MatMul(x, d.W)
+	y.AddRowVec(d.B.Data)
+	return y, x.Clone()
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(ctx Ctx, dy *tensor.Matrix) *tensor.Matrix {
+	x := ctx.(*tensor.Matrix)
+	d.GW.Add(tensor.MatMulATB(x, dy))
+	gb := dy.SumRows()
+	for j, v := range gb {
+		d.GB.Data[j] += v
+	}
+	return tensor.MatMulABT(dy, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{{d.W, d.GW}, {d.B, d.GB}}
+}
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		W:  d.W.Clone(),
+		B:  d.B.Clone(),
+		GW: tensor.New(d.GW.Rows, d.GW.Cols),
+		GB: tensor.New(d.GB.Rows, d.GB.Cols),
+	}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct{}
+
+// Forward implements Layer.
+func (ReLU) Forward(x *tensor.Matrix) (*tensor.Matrix, Ctx) {
+	y := x.Clone()
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+		}
+	}
+	return y, y.Clone()
+}
+
+// Backward implements Layer.
+func (ReLU) Backward(ctx Ctx, dy *tensor.Matrix) *tensor.Matrix {
+	y := ctx.(*tensor.Matrix)
+	dx := dy.Clone()
+	for i, v := range y.Data {
+		if v <= 0 {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (ReLU) Params() []Param { return nil }
+
+// Clone implements Layer.
+func (ReLU) Clone() Layer { return ReLU{} }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{}
+
+// Forward implements Layer.
+func (Tanh) Forward(x *tensor.Matrix) (*tensor.Matrix, Ctx) {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	return y, y.Clone()
+}
+
+// Backward implements Layer.
+func (Tanh) Backward(ctx Ctx, dy *tensor.Matrix) *tensor.Matrix {
+	y := ctx.(*tensor.Matrix)
+	dx := dy.Clone()
+	for i, v := range y.Data {
+		dx.Data[i] *= 1 - v*v
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (Tanh) Params() []Param { return nil }
+
+// Clone implements Layer.
+func (Tanh) Clone() Layer { return Tanh{} }
+
+// Network is an ordered layer stack.
+type Network struct {
+	Layers []Layer
+}
+
+// MLP builds an n-hidden-layer perceptron with ReLU activations and a linear
+// head: dims like [in, h1, h2, ..., out].
+func MLP(dims []int, seed int64) *Network {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs at least 2 dims, got %d", len(dims)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var layers []Layer
+	for i := 0; i+1 < len(dims); i++ {
+		layers = append(layers, NewDense(dims[i], dims[i+1], rng))
+		if i+2 < len(dims) {
+			layers = append(layers, ReLU{})
+		}
+	}
+	return &Network{Layers: layers}
+}
+
+// Forward runs every layer, returning the output and per-layer contexts.
+func (n *Network) Forward(x *tensor.Matrix) (*tensor.Matrix, []Ctx) {
+	ctxs := make([]Ctx, len(n.Layers))
+	for i, l := range n.Layers {
+		x, ctxs[i] = l.Forward(x)
+	}
+	return x, ctxs
+}
+
+// Backward consumes the contexts from Forward in reverse.
+func (n *Network) Backward(ctxs []Ctx, dy *tensor.Matrix) *tensor.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dy = n.Layers[i].Backward(ctxs[i], dy)
+	}
+	return dy
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []Param {
+	var ps []Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears every gradient accumulator.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// Clone deep-copies the network (parameters copied, gradients zeroed).
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		out.Layers[i] = l.Clone()
+	}
+	return out
+}
+
+// Slice returns a network view over layers [lo, hi) sharing the same layer
+// objects (used to carve pipeline stages out of a master network).
+func (n *Network) Slice(lo, hi int) *Network {
+	return &Network{Layers: n.Layers[lo:hi]}
+}

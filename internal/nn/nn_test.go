@@ -1,0 +1,295 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dapple/internal/tensor"
+)
+
+// numericGrad estimates dLoss/dW[i] by central differences.
+func numericGrad(net *Network, x *tensor.Matrix, y []int, p Param, idx int) float64 {
+	const h = 1e-6
+	orig := p.W.Data[idx]
+	p.W.Data[idx] = orig + h
+	out, _ := net.Forward(x)
+	lp, _ := SoftmaxCrossEntropy(out, y)
+	p.W.Data[idx] = orig - h
+	out, _ = net.Forward(x)
+	lm, _ := SoftmaxCrossEntropy(out, y)
+	p.W.Data[idx] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// TestBackpropMatchesNumericGradient is the foundational check: analytic
+// gradients agree with finite differences on an MLP.
+func TestBackpropMatchesNumericGradient(t *testing.T) {
+	net := MLP([]int{5, 7, 4}, 42)
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(6, 5)
+	x.Randomize(rng, 1)
+	y := []int{0, 1, 2, 3, 0, 1}
+
+	out, ctxs := net.Forward(x)
+	_, dy := SoftmaxCrossEntropy(out, y)
+	net.Backward(ctxs, dy)
+
+	for pi, p := range net.Params() {
+		for _, idx := range []int{0, len(p.W.Data) / 2, len(p.W.Data) - 1} {
+			want := numericGrad(net, x, y, p, idx)
+			got := p.G.Data[idx]
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("param %d[%d]: analytic %g vs numeric %g", pi, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestForwardIsReentrant(t *testing.T) {
+	// Two interleaved micro-batches through the same layers must not
+	// interfere — the property pipelining depends on.
+	net := MLP([]int{4, 8, 3}, 1)
+	rng := rand.New(rand.NewSource(2))
+	x1, x2 := tensor.New(3, 4), tensor.New(3, 4)
+	x1.Randomize(rng, 1)
+	x2.Randomize(rng, 1)
+
+	o1a, _ := net.Forward(x1)
+	o1b, ctx1 := net.Forward(x1)
+	_, ctx2 := net.Forward(x2)
+	if d := tensor.MaxAbsDiff(o1a, o1b); d != 0 {
+		t.Fatalf("same input gives different outputs: %g", d)
+	}
+
+	// Backward in the opposite order of forward.
+	dy := tensor.New(3, 3)
+	dy.Randomize(rng, 1)
+	net.Backward(ctx2, dy)
+	g2 := GradSnapshot(net)
+	net.ZeroGrads()
+	net.Backward(ctx1, dy)
+	g1 := GradSnapshot(net)
+
+	// Now recompute sequentially for reference.
+	net.ZeroGrads()
+	_, c1 := net.Forward(x1)
+	net.Backward(c1, dy)
+	r1 := GradSnapshot(net)
+	net.ZeroGrads()
+	_, c2 := net.Forward(x2)
+	net.Backward(c2, dy)
+	r2 := GradSnapshot(net)
+
+	for i := range g1 {
+		if math.Abs(g1[i]-r1[i]) > 1e-12 || math.Abs(g2[i]-r2[i]) > 1e-12 {
+			t.Fatal("interleaved backward differs from sequential")
+		}
+	}
+}
+
+// GradSnapshot flattens current gradients (test helper).
+func GradSnapshot(n *Network) []float64 {
+	var out []float64
+	for _, p := range n.Params() {
+		out = append(out, append([]float64(nil), p.G.Data...)...)
+	}
+	return out
+}
+
+func TestCloneIsDeepAndZeroGrad(t *testing.T) {
+	net := MLP([]int{3, 4, 2}, 5)
+	out, ctxs := net.Forward(tensor.New(2, 3))
+	_, dy := SoftmaxCrossEntropy(out, []int{0, 1})
+	net.Backward(ctxs, dy)
+
+	c := net.Clone()
+	for _, p := range c.Params() {
+		for _, g := range p.G.Data {
+			if g != 0 {
+				t.Fatal("clone has non-zero grads")
+			}
+		}
+	}
+	// Mutating the clone's params must not touch the original.
+	c.Params()[0].W.Data[0] += 1
+	if net.Params()[0].W.Data[0] == c.Params()[0].W.Data[0] {
+		t.Fatal("clone shares parameter storage")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientSumsToZero(t *testing.T) {
+	// Each row's softmax gradient sums to zero (probabilities minus onehot).
+	rng := rand.New(rand.NewSource(11))
+	logits := tensor.New(4, 6)
+	logits.Randomize(rng, 3)
+	_, g := SoftmaxCrossEntropy(logits, []int{1, 5, 0, 2})
+	for r := 0; r < 4; r++ {
+		var s float64
+		for _, v := range g.Row(r) {
+			s += v
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("row %d grad sums to %g", r, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyLoss(t *testing.T) {
+	// Uniform logits give log(C) loss.
+	logits := tensor.New(2, 4)
+	l, _ := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(l-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform loss %g, want %g", l, math.Log(4))
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred := tensor.FromSlice(1, 2, []float64{1, 2})
+	target := tensor.FromSlice(1, 2, []float64{0, 4})
+	l, g := MSE(pred, target)
+	if math.Abs(l-2.5) > 1e-12 { // mean of squared diffs: (1+4)/2
+		t.Fatalf("mse loss %g, want 2.5", l)
+	}
+	if g.Data[0] != 1 || g.Data[1] != -2 { // 2*d/n
+		t.Fatalf("mse grad %v", g.Data)
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	net := MLP([]int{2, 2}, 3)
+	p := net.Params()[0]
+	before := p.W.Data[0]
+	p.G.Data[0] = 2
+	SGD{LR: 0.5}.Step(net.Params())
+	if p.W.Data[0] != before-1 {
+		t.Fatalf("sgd step: %g -> %g", before, p.W.Data[0])
+	}
+	if p.G.Data[0] != 0 {
+		t.Fatal("sgd did not zero grads")
+	}
+}
+
+func TestAdamDeterministic(t *testing.T) {
+	run := func() []float64 {
+		net := MLP([]int{3, 3, 2}, 9)
+		opt := NewAdam(1e-3)
+		rng := rand.New(rand.NewSource(1))
+		x := tensor.New(4, 3)
+		x.Randomize(rng, 1)
+		y := []int{0, 1, 0, 1}
+		for i := 0; i < 5; i++ {
+			out, ctxs := net.Forward(x)
+			_, dy := SoftmaxCrossEntropy(out, y)
+			net.Backward(ctxs, dy)
+			opt.Step(net.Params())
+		}
+		var ps []float64
+		for _, p := range net.Params() {
+			ps = append(ps, p.W.Data...)
+		}
+		return ps
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("adam training is not deterministic")
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	net := MLP([]int{2, 16, 2}, 1234)
+	opt := NewAdam(5e-3)
+	rng := rand.New(rand.NewSource(99))
+	// XOR-ish separable data.
+	x := tensor.New(64, 2)
+	y := make([]int, 64)
+	for i := 0; i < 64; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		if a*b > 0 {
+			y[i] = 1
+		}
+	}
+	var first, last float64
+	for i := 0; i < 200; i++ {
+		out, ctxs := net.Forward(x)
+		l, dy := SoftmaxCrossEntropy(out, y)
+		net.Backward(ctxs, dy)
+		opt.Step(net.Params())
+		if i == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last > first/2 {
+		t.Fatalf("loss barely moved: %g -> %g", first, last)
+	}
+}
+
+// Property: gradient accumulation is linear — grad(b1) + grad(b2) equals
+// accumulating both batches before reading.
+func TestGradAccumulationLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		net := MLP([]int{3, 5, 2}, 77)
+		rng := rand.New(rand.NewSource(seed))
+		x1, x2 := tensor.New(2, 3), tensor.New(2, 3)
+		x1.Randomize(rng, 1)
+		x2.Randomize(rng, 1)
+		y := []int{0, 1}
+
+		out, c := net.Forward(x1)
+		_, dy := SoftmaxCrossEntropy(out, y)
+		net.Backward(c, dy)
+		out, c = net.Forward(x2)
+		_, dy = SoftmaxCrossEntropy(out, y)
+		net.Backward(c, dy)
+		both := GradSnapshot(net)
+
+		net.ZeroGrads()
+		out, c = net.Forward(x1)
+		_, dy = SoftmaxCrossEntropy(out, y)
+		net.Backward(c, dy)
+		g1 := GradSnapshot(net)
+		net.ZeroGrads()
+		out, c = net.Forward(x2)
+		_, dy = SoftmaxCrossEntropy(out, y)
+		net.Backward(c, dy)
+		g2 := GradSnapshot(net)
+
+		for i := range both {
+			if math.Abs(both[i]-(g1[i]+g2[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkSliceSharesLayers(t *testing.T) {
+	net := MLP([]int{2, 3, 2}, 8)
+	head := net.Slice(0, 1)
+	head.Layers[0].(*Dense).W.Data[0] = 123
+	if net.Layers[0].(*Dense).W.Data[0] != 123 {
+		t.Fatal("slice does not share layers")
+	}
+}
+
+func TestStashBytes(t *testing.T) {
+	m := tensor.New(2, 3)
+	if StashBytes(m) != 48 {
+		t.Fatalf("StashBytes matrix = %d", StashBytes(m))
+	}
+	if StashBytes(nil) != 0 {
+		t.Fatal("StashBytes(nil) != 0")
+	}
+	if StashBytes([]*tensor.Matrix{m, m}) != 96 {
+		t.Fatal("StashBytes slice wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from accumulated gradients. Step consumes the
+// gradients as-is (callers are responsible for averaging across micro-batches
+// or replicas first) and zeroes them afterwards.
+type Optimizer interface {
+	Step(params []Param)
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// Step implements Optimizer.
+func (o SGD) Step(params []Param) {
+	for _, p := range params {
+		p.W.AXPY(-o.LR, p.G)
+		p.G.Zero()
+	}
+}
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	LR, Beta float64
+	vel      map[Param][]float64
+}
+
+// NewMomentum returns a Momentum optimizer.
+func NewMomentum(lr, beta float64) *Momentum {
+	return &Momentum{LR: lr, Beta: beta, vel: map[Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *Momentum) Step(params []Param) {
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			v = make([]float64, len(p.W.Data))
+			o.vel[p] = v
+		}
+		for i := range v {
+			v[i] = o.Beta*v[i] + p.G.Data[i]
+			p.W.Data[i] -= o.LR * v[i]
+		}
+		p.G.Zero()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the one the paper trains GNMT,
+// BERT and XLNet with.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[Param][]float64
+	v map[Param][]float64
+}
+
+// NewAdam returns Adam with the standard defaults and the given learning
+// rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[Param][]float64{}, v: map[Param][]float64{},
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W.Data))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.W.Data))
+		}
+		v := a.v[p]
+		for i, g := range p.G.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W.Data[i] -= a.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.Eps)
+		}
+		p.G.Zero()
+	}
+}

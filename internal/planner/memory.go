@@ -1,0 +1,45 @@
+package planner
+
+import "dapple/internal/core"
+
+// FitsMemory analytically checks that the plan's peak per-device memory under
+// DAPPLE early-backward scheduling stays within the cluster's device budget.
+// It mirrors the scheduler's accounting: optimizer-inclusive parameter state
+// plus workspace statically, plus K_i = min(S-i, M) retained micro-batches
+// per stage — with re-computation, boundary stashes plus one fully
+// materialized micro-batch instead.
+func FitsMemory(p *core.Plan, recompute bool) bool {
+	limit := p.Cluster.DeviceMemory
+	if limit <= 0 {
+		return true
+	}
+	s := len(p.Stages)
+	m := p.M()
+	for i, st := range p.Stages {
+		params := p.StageParamBytes(i)
+		static := p.Model.OptimizerStateBytes(params) + p.Model.WorkspaceBytes
+		r := int64(st.Replicas())
+		perMB := p.Model.RangeStoredBytes(st.Lo, st.Hi, p.MicroBatch) / r
+		k := s - i
+		if k > m {
+			k = m
+		}
+		if k < 1 {
+			k = 1
+		}
+		var peak int64
+		if recompute {
+			var stash int64
+			if st.Lo > 0 {
+				stash = p.Model.OutputBytes(st.Lo-1, p.MicroBatch) / r
+			}
+			peak = static + int64(k)*stash + perMB
+		} else {
+			peak = static + int64(k)*perMB
+		}
+		if peak > limit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package planner
+
+import "sort"
+
+// placements enumerates per-server take vectors for a stage of r devices
+// using the three policies of §IV-B, deduplicated. On flat clusters (one GPU
+// per server) all policies coincide, collapsing the placement space.
+func (s *search) placements(used alloc, r int) []alloc {
+	if r <= 0 || r > s.freeTotal(used) {
+		return nil
+	}
+	cands := []alloc{
+		s.freshFirst(used, r),
+		s.appendFirst(used, r),
+		s.scatterFirst(used, r),
+	}
+	var out []alloc
+	seen := map[string]bool{}
+	for _, t := range cands {
+		if t == nil {
+			continue
+		}
+		k := t.key(0)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// serverOrder returns server indices sorted by the policy's preference.
+func (s *search) serverOrder(used alloc, preferFresh bool) []int {
+	order := make([]int, s.c.Servers)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua, ub := used[order[a]], used[order[b]]
+		fa, fb := ua == 0, ub == 0
+		if fa != fb {
+			if preferFresh {
+				return fa
+			}
+			return fb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// greedyTake fills servers in the given order.
+func (s *search) greedyTake(used alloc, r int, order []int) alloc {
+	take := make(alloc, s.c.Servers)
+	for _, srv := range order {
+		if r == 0 {
+			break
+		}
+		free := s.c.GPUsPerServer - used[srv]
+		k := free
+		if k > r {
+			k = r
+		}
+		take[srv] = k
+		r -= k
+	}
+	if r > 0 {
+		return nil
+	}
+	return take
+}
+
+// freshFirst allocates from completely unused machines first, keeping the
+// stage on as few machines as possible to exploit NVLink for intra-stage
+// gradient sync.
+func (s *search) freshFirst(used alloc, r int) alloc {
+	return s.greedyTake(used, r, s.serverOrder(used, true))
+}
+
+// appendFirst allocates from machines that already host earlier stages,
+// reducing fragmentation.
+func (s *search) appendFirst(used alloc, r int) alloc {
+	return s.greedyTake(used, r, s.serverOrder(used, false))
+}
+
+// scatterFirst spreads the stage evenly across machines with free devices:
+// one device per machine round-robin.
+func (s *search) scatterFirst(used alloc, r int) alloc {
+	take := make(alloc, s.c.Servers)
+	remaining := r
+	for remaining > 0 {
+		progress := false
+		for srv := 0; srv < s.c.Servers && remaining > 0; srv++ {
+			if used[srv]+take[srv] < s.c.GPUsPerServer {
+				take[srv]++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+	return take
+}

@@ -1,0 +1,489 @@
+// Package planner implements the DAPPLE Planner (§IV): given a profiled
+// model, a cluster topology and a global batch size, it searches stage
+// partitions, per-stage replication degrees and topology-aware device
+// placements for the plan minimizing synchronous pipeline latency.
+//
+// The search follows the paper's dynamic program (Eq. 4-5): a state plans the
+// first j layers on an allocated device set, with the remaining layers
+// forming one final stage on all remaining devices — so every explored state
+// is itself a complete candidate plan. Transitions split the suffix stage.
+// Device placement is explored through the three policies of §IV-B (Fresh
+// First, Append First, Scatter First). Pure data parallelism (a single stage
+// on every device) and straight pipelines (one device per stage) fall out of
+// the same search; a dedicated balanced partitioner additionally seeds the
+// deep straight pipeline.
+//
+// The analytic objective of Eq. (1)-(2) drives the search, but — as the paper
+// notes — it approximates away non-pivot bubbles. The planner therefore
+// re-ranks the best analytic candidates on the discrete-event scheduler
+// (package schedule) and picks the plan with the lowest simulated iteration
+// time, preferring fewer stages and less replication on near-ties, matching
+// the paper's "fewer, slightly uneven stages" insight (§IV-D).
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"dapple/internal/baselines"
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/schedule"
+)
+
+// Options tune the search.
+type Options struct {
+	// GBS is the global batch size; 0 uses the model default.
+	GBS int
+
+	// MaxStages caps computation stages in the general search (0 = 4;
+	// straight pipelines with one stage per device are seeded separately).
+	MaxStages int
+
+	// SkipMemCheck accepts plans regardless of device memory.
+	SkipMemCheck bool
+
+	// PruneSlack widens branch-and-bound pruning: states whose candidate
+	// latency exceeds best*PruneSlack are not extended. 0 means 1.6.
+	PruneSlack float64
+
+	// Finalists bounds how many analytic-best candidates are re-ranked on
+	// the simulator. 0 means 24.
+	Finalists int
+}
+
+// Result is the planner's output.
+type Result struct {
+	Plan    *core.Plan
+	Latency float64 // simulated pipeline latency of the chosen plan, seconds
+	Speedup float64 // vs single-device execution of the same global batch
+
+	// Analytic is the Eq. (1)-(2) latency estimate of the chosen plan; the
+	// search optimizes this, then re-ranks finalists on the discrete-event
+	// simulator, which also accounts for the non-pivot bubbles and link
+	// contention the analytic objective approximates away.
+	Analytic float64
+
+	// NeedsRecompute reports that the plan fits device memory only with
+	// activation re-computation enabled.
+	NeedsRecompute bool
+
+	// Policy is the recommended warmup policy for the runtime: PB when the
+	// plan's activation-communication ratio is notable (cross-stage traffic
+	// comparable to compute, §V-C / Table IV), PA otherwise.
+	Policy schedule.Policy
+
+	// Explored counts complete candidate plans evaluated.
+	Explored int
+}
+
+// pbACRThreshold is the activation-communication ratio above which the
+// deeper warmup of policy B pays off (Table IV: GNMT/VGG/AmoebaNet at
+// ACR >= ~0.1 benefit; BERT/XLNet below do not).
+const pbACRThreshold = 0.1
+
+// String implements fmt.Stringer.
+func (r *Result) String() string {
+	return fmt.Sprintf("%v  latency=%.1fms speedup=%.2fx acr=%.3f",
+		r.Plan, r.Latency*1e3, r.Speedup, r.Plan.ACR())
+}
+
+// Plan searches for the latency-optimal hybrid plan.
+func Plan(m *model.Model, c hardware.Cluster, opts Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	gbs := opts.GBS
+	if gbs <= 0 {
+		gbs = m.DefaultGBS
+	}
+	maxStages := opts.MaxStages
+	if maxStages <= 0 {
+		maxStages = 4
+	}
+	slack := opts.PruneSlack
+	if slack <= 0 {
+		slack = 1.6
+	}
+	finalists := opts.Finalists
+	if finalists <= 0 {
+		finalists = 24
+	}
+
+	s := &search{
+		m: m, c: c, gbs: gbs,
+		maxStages: maxStages,
+		memCheck:  !opts.SkipMemCheck,
+		slack:     slack,
+		best:      math.Inf(1),
+		memo:      map[string]float64{},
+		cands:     map[string]candidate{},
+	}
+	s.run()
+	res, err := s.finalize(finalists)
+	if err != nil {
+		return nil, fmt.Errorf("planner: %s on %s (gbs %d): %w", m.Name, c.Name, gbs, err)
+	}
+	res.Explored = s.explored
+	res.Speedup = m.SingleDeviceIterTime(gbs) / res.Latency
+	return res, nil
+}
+
+type candidate struct {
+	plan      *core.Plan
+	analytic  float64
+	recompute bool
+}
+
+type search struct {
+	m         *model.Model
+	c         hardware.Cluster
+	gbs       int
+	maxStages int
+	memCheck  bool
+	slack     float64
+
+	best     float64 // best analytic latency (pruning incumbent)
+	explored int
+	memo     map[string]float64
+	cands    map[string]candidate
+}
+
+// alloc tracks GPUs already claimed per server.
+type alloc []int
+
+func (a alloc) key(j int) string {
+	b := make([]byte, 0, 3*len(a)+8)
+	b = strconv.AppendInt(b, int64(j), 10)
+	for _, v := range a {
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return string(b)
+}
+
+func (a alloc) clone() alloc { return append(alloc(nil), a...) }
+
+func (s *search) freeTotal(a alloc) int {
+	free := 0
+	for _, u := range a {
+		free += s.c.GPUsPerServer - u
+	}
+	return free
+}
+
+func (s *search) run() {
+	used := make(alloc, s.c.Servers)
+	// The root candidate is the suffix-only plan: one stage on all devices,
+	// i.e. pure data parallelism.
+	s.candidate(nil, 0, used)
+	s.extend(0, used, nil)
+	s.seedStraight()
+	s.seedPipeDream()
+}
+
+// seedPipeDream evaluates the PipeDream-style hierarchical plan as a
+// candidate: DAPPLE's strategy space is a strict superset of PipeDream's
+// (§IV-D2), and the general search's stage-count budget must not exclude the
+// deep hierarchical corner on large clusters.
+func (s *search) seedPipeDream() {
+	p := baselines.PipeDream(s.m, s.c, s.gbs)
+	if p != nil {
+		s.evaluate(p.Stages)
+	}
+}
+
+// extend explores states reachable from (prefix covering [0,j), used).
+func (s *search) extend(j int, used alloc, prefix []core.Stage) {
+	n := s.m.NumLayers()
+	free := s.freeTotal(used)
+	if len(prefix)+1 >= s.maxStages {
+		return
+	}
+	for j2 := j + 1; j2 < n; j2++ {
+		for r := 1; r < free; r++ {
+			for _, take := range s.placements(used, r) {
+				stage := s.materialize(j, j2, used, take)
+				newUsed := used.clone()
+				for i := range take {
+					newUsed[i] += take[i]
+				}
+				stages := append(append([]core.Stage(nil), prefix...), stage)
+				l := s.candidate(stages, j2, newUsed)
+				if math.IsInf(l, 1) {
+					continue
+				}
+				key := newUsed.key(j2)
+				if old, ok := s.memo[key]; ok && l >= old {
+					continue
+				}
+				s.memo[key] = l
+				if l > s.best*s.slack {
+					continue
+				}
+				s.extend(j2, newUsed, stages)
+			}
+		}
+	}
+}
+
+// candidate evaluates the complete plan formed by prefix plus one suffix
+// stage holding layers [j, N) on every unused device, records it, and returns
+// its analytic latency (Inf when invalid).
+func (s *search) candidate(prefix []core.Stage, j int, used alloc) float64 {
+	take := make(alloc, len(used))
+	for i, u := range used {
+		take[i] = s.c.GPUsPerServer - u
+	}
+	suffix := s.materialize(j, s.m.NumLayers(), used, take)
+	stages := append(append([]core.Stage(nil), prefix...), suffix)
+	return s.evaluate(stages)
+}
+
+// evaluate scores a complete stage list, recording it as a finalist when it
+// fits memory (directly or with re-computation).
+func (s *search) evaluate(stages []core.Stage) float64 {
+	p := &core.Plan{Model: s.m, Cluster: s.c, Stages: stages, GBS: s.gbs}
+	p.MicroBatch = core.ChooseMicroBatch(s.m, s.gbs)
+	if p.Validate() != nil {
+		return math.Inf(1)
+	}
+	s.explored++
+	l := p.Latency()
+	if l < s.best {
+		s.best = l
+	}
+
+	recompute := false
+	if s.memCheck {
+		switch {
+		case FitsMemory(p, false):
+		case FitsMemory(p, true):
+			recompute = true
+		default:
+			return l // prunable but not a feasible finalist
+		}
+	}
+	sig := p.SplitString() + "|" + p.ReplicaString() + "|" + placementSig(p)
+	if old, ok := s.cands[sig]; !ok || l < old.analytic {
+		s.cands[sig] = candidate{plan: p, analytic: l, recompute: recompute}
+		if len(s.cands) > 4096 {
+			s.compactCands()
+		}
+	}
+	return l
+}
+
+// compactCands drops the worst half of recorded candidates to bound memory.
+func (s *search) compactCands() {
+	type kv struct {
+		k string
+		v candidate
+	}
+	all := make([]kv, 0, len(s.cands))
+	for k, v := range s.cands {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v.analytic < all[j].v.analytic })
+	for _, e := range all[len(all)/2:] {
+		delete(s.cands, e.k)
+	}
+}
+
+// placementSig fingerprints which servers each stage occupies.
+func placementSig(p *core.Plan) string {
+	b := make([]byte, 0, 16)
+	for _, st := range p.Stages {
+		seen := map[int]int{}
+		for _, d := range st.Devices {
+			seen[p.Cluster.Server(d)]++
+		}
+		srvs := make([]int, 0, len(seen))
+		for s := range seen {
+			srvs = append(srvs, s)
+		}
+		sort.Ints(srvs)
+		for _, s := range srvs {
+			b = strconv.AppendInt(b, int64(s), 10)
+			b = append(b, 'x')
+			b = strconv.AppendInt(b, int64(seen[s]), 10)
+		}
+		b = append(b, '/')
+	}
+	return string(b)
+}
+
+// finalize re-ranks the analytic finalists on the discrete-event scheduler.
+// Near-ties (within 1%) resolve toward fewer stages, then less replication —
+// the paper's preference for simple plans.
+func (s *search) finalize(limit int) (*Result, error) {
+	if len(s.cands) == 0 {
+		return nil, fmt.Errorf("no feasible plan")
+	}
+	list := make([]candidate, 0, len(s.cands))
+	for _, c := range s.cands {
+		list = append(list, c)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].analytic < list[j].analytic })
+	if len(list) > limit {
+		kept := list[:limit:limit]
+		// The reference corners always get a simulator hearing: pure data
+		// parallelism and the deepest straight pipeline may rank poorly
+		// analytically yet win once real bubbles are accounted.
+		for _, c := range list[limit:] {
+			if c.plan.Kind() != core.KindHybrid {
+				kept = append(kept, c)
+			}
+		}
+		list = kept
+	}
+
+	type ranked struct {
+		candidate
+		sim    float64
+		policy schedule.Policy
+	}
+	var rs []ranked
+	for _, c := range list {
+		// Re-ranking runs policy A uniformly — the paper's planner selects
+		// partitions independently of the warmup policy; PB is recommended
+		// for the chosen plan afterwards when its ACR warrants it (§V-C).
+		r, err := schedule.Run(c.plan, schedule.Options{
+			Policy:    schedule.DapplePA,
+			Recompute: c.recompute,
+		})
+		if err != nil || (s.memCheck && r.OOM) {
+			continue
+		}
+		pol := schedule.DapplePA
+		if c.plan.ACR() >= pbACRThreshold {
+			pol = schedule.DapplePB
+		}
+		rs = append(rs, ranked{c, r.IterTime, pol})
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("no feasible plan")
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].sim < rs[j].sim })
+	bestSim := rs[0].sim
+	pick := rs[0]
+	for _, r := range rs[1:] {
+		if r.sim > bestSim*1.025 {
+			continue
+		}
+		if simpler(r.plan, pick.plan) {
+			pick = r
+		}
+	}
+	return &Result{
+		Plan:           pick.plan,
+		Latency:        pick.sim,
+		Analytic:       pick.analytic,
+		NeedsRecompute: pick.recompute,
+		Policy:         pick.policy,
+	}, nil
+}
+
+// simpler prefers fewer stages, then fewer total replicas.
+func simpler(a, b *core.Plan) bool {
+	if len(a.Stages) != len(b.Stages) {
+		return len(a.Stages) < len(b.Stages)
+	}
+	ra, rb := 0, 0
+	for _, s := range a.Stages {
+		ra += s.Replicas()
+	}
+	for _, s := range b.Stages {
+		rb += s.Replicas()
+	}
+	return ra < rb
+}
+
+// seedStraight evaluates the straight pipeline: one stage per device,
+// balanced by the classic linear-partition DP over layer compute time. The
+// general search caps stage count, so the deep no-replication corner the
+// paper's Table V reports for slow networks is seeded explicitly.
+func (s *search) seedStraight() {
+	g := s.c.NumDevices()
+	n := s.m.NumLayers()
+	if g < 2 || n < g {
+		return
+	}
+	cuts := balancedPartition(s.m, n, g)
+	if cuts == nil {
+		return
+	}
+	stages := make([]core.Stage, g)
+	lo := 0
+	for i := 0; i < g; i++ {
+		stages[i] = core.Stage{Lo: lo, Hi: cuts[i], Devices: []hardware.DeviceID{hardware.DeviceID(i)}}
+		lo = cuts[i]
+	}
+	s.evaluate(stages)
+}
+
+// balancedPartition splits n layers into g contiguous groups minimizing the
+// maximum per-group forward+backward time, returning the g exclusive end
+// indices. Standard O(n^2 g) interval DP.
+func balancedPartition(m *model.Model, n, g int) []int {
+	w := make([]float64, n+1) // prefix layer weights
+	for i := 0; i < n; i++ {
+		w[i+1] = w[i] + m.Layers[i].FwdTime + m.Layers[i].BwdTime
+	}
+	cost := func(a, b int) float64 { return w[b] - w[a] }
+
+	const inf = math.MaxFloat64
+	dp := make([][]float64, g+1)
+	cut := make([][]int, g+1)
+	for k := range dp {
+		dp[k] = make([]float64, n+1)
+		cut[k] = make([]int, n+1)
+		for i := range dp[k] {
+			dp[k][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= g; k++ {
+		for i := k; i <= n; i++ {
+			for p := k - 1; p < i; p++ {
+				if dp[k-1][p] == inf {
+					continue
+				}
+				v := math.Max(dp[k-1][p], cost(p, i))
+				if v < dp[k][i] {
+					dp[k][i] = v
+					cut[k][i] = p
+				}
+			}
+		}
+	}
+	if dp[g][n] == inf {
+		return nil
+	}
+	cuts := make([]int, g)
+	i := n
+	for k := g; k >= 1; k-- {
+		cuts[k-1] = i
+		i = cut[k][i]
+	}
+	return cuts
+}
+
+// materialize turns a per-server take vector into a Stage, assigning the
+// lowest free device IDs within each server.
+func (s *search) materialize(lo, hi int, used, take alloc) core.Stage {
+	var devs []hardware.DeviceID
+	for srv, k := range take {
+		base := srv * s.c.GPUsPerServer
+		for i := 0; i < k; i++ {
+			devs = append(devs, hardware.DeviceID(base+used[srv]+i))
+		}
+	}
+	return core.Stage{Lo: lo, Hi: hi, Devices: devs}
+}

@@ -1,0 +1,229 @@
+// Package profile implements the DAPPLE Profiler (§II-C): it turns a model
+// architecture — layer kinds with their dimensions — into the per-layer
+// statistics the planner consumes (compute times, activation sizes, parameter
+// sizes), evaluated for a reference device at a chosen profiling micro-batch.
+//
+// The paper's profiler executes each layer on a physical GPU; ours evaluates
+// closed-form FLOP and byte counts for the same layer kinds against a device
+// throughput model, which yields the identical planner input vector without
+// hardware.
+package profile
+
+import (
+	"fmt"
+
+	"dapple/internal/model"
+)
+
+// Device describes the accelerator the profile is taken on.
+type Device struct {
+	// FLOPS is peak fp32 throughput; Efficiency the sustained fraction
+	// typical kernels reach. Sustained = FLOPS * Efficiency.
+	FLOPS      float64
+	Efficiency float64
+}
+
+// V100 returns the profile device of the paper's testbeds.
+func V100() Device { return Device{FLOPS: 14e12, Efficiency: 0.5} }
+
+// sustained returns achievable FLOP/s.
+func (d Device) sustained() float64 {
+	e := d.Efficiency
+	if e <= 0 || e > 1 {
+		e = 0.5
+	}
+	return d.FLOPS * e
+}
+
+// LayerSpec is one architecture layer the profiler can measure.
+type LayerSpec interface {
+	// Measure returns the layer's profile at the given micro-batch size.
+	Measure(batch int, dev Device) model.Layer
+	// Describe returns a short human-readable summary.
+	Describe() string
+}
+
+// Dense is a fully connected layer.
+type Dense struct {
+	Name    string
+	In, Out int
+}
+
+// Measure implements LayerSpec.
+func (l Dense) Measure(batch int, dev Device) model.Layer {
+	macs := float64(l.In) * float64(l.Out)
+	out := int64(l.Out) * 4 * int64(batch)
+	return model.Layer{
+		Name:        l.Name,
+		FwdTime:     2 * macs * float64(batch) / dev.sustained(),
+		BwdTime:     4 * macs * float64(batch) / dev.sustained(),
+		OutputBytes: out,
+		StoredBytes: 2 * out,
+		ParamBytes:  int64(macs+float64(l.Out)) * 4,
+	}
+}
+
+// Describe implements LayerSpec.
+func (l Dense) Describe() string { return fmt.Sprintf("dense %dx%d", l.In, l.Out) }
+
+// Conv2D is a KxK convolution producing Cout channels at HxW, optionally
+// followed by a 2x2 pooling step.
+type Conv2D struct {
+	Name      string
+	Cin, Cout int
+	K, H, W   int
+	Pool      bool
+}
+
+// Measure implements LayerSpec.
+func (l Conv2D) Measure(batch int, dev Device) model.Layer {
+	macs := float64(l.K*l.K*l.Cin*l.Cout) * float64(l.H*l.W)
+	oh, ow := l.H, l.W
+	if l.Pool {
+		oh, ow = oh/2, ow/2
+	}
+	out := int64(oh*ow*l.Cout) * 4 * int64(batch)
+	return model.Layer{
+		Name:        l.Name,
+		FwdTime:     2 * macs * float64(batch) / dev.sustained(),
+		BwdTime:     4 * macs * float64(batch) / dev.sustained(),
+		OutputBytes: out,
+		StoredBytes: out + out/2,
+		ParamBytes:  int64(l.K*l.K*l.Cin*l.Cout+l.Cout) * 4,
+	}
+}
+
+// Describe implements LayerSpec.
+func (l Conv2D) Describe() string {
+	return fmt.Sprintf("conv %dx%d %d->%d @%dx%d", l.K, l.K, l.Cin, l.Cout, l.H, l.W)
+}
+
+// LSTM is one recurrent layer unrolled over SeqLen steps.
+type LSTM struct {
+	Name           string
+	Hidden, SeqLen int
+}
+
+// Measure implements LayerSpec.
+func (l LSTM) Measure(batch int, dev Device) model.Layer {
+	h := float64(l.Hidden)
+	macs := 8 * h * h * float64(l.SeqLen) // 4 gates x (input + recurrent)
+	out := int64(l.SeqLen*l.Hidden) * 4 * int64(batch)
+	return model.Layer{
+		Name:        l.Name,
+		FwdTime:     2 * macs * float64(batch) / dev.sustained(),
+		BwdTime:     4 * macs * float64(batch) / dev.sustained(),
+		OutputBytes: out,
+		StoredBytes: 6 * out, // gate activations and cell states per step
+		ParamBytes:  int64(8*h*h+8*h) * 4,
+	}
+}
+
+// Describe implements LayerSpec.
+func (l LSTM) Describe() string { return fmt.Sprintf("lstm h=%d T=%d", l.Hidden, l.SeqLen) }
+
+// Transformer is one encoder block: self-attention plus FFN.
+type Transformer struct {
+	Name                       string
+	Hidden, Heads, SeqLen, FFN int
+}
+
+// Measure implements LayerSpec.
+func (l Transformer) Measure(batch int, dev Device) model.Layer {
+	h, t := float64(l.Hidden), float64(l.SeqLen)
+	ffn := float64(l.FFN)
+	if ffn == 0 {
+		ffn = 4 * h
+	}
+	macs := (4*h*h + 2*h*ffn) * t // projections + FFN
+	macs += 2 * t * t * h         // attention scores + weighted sum
+	out := int64(l.SeqLen*l.Hidden) * 4 * int64(batch)
+	attn := int64(l.Heads*l.SeqLen*l.SeqLen) * 4 * int64(batch)
+	return model.Layer{
+		Name:        l.Name,
+		FwdTime:     2 * macs * float64(batch) / dev.sustained(),
+		BwdTime:     4 * macs * float64(batch) / dev.sustained(),
+		OutputBytes: out,
+		StoredBytes: 6*out + attn,
+		ParamBytes:  int64((4*h*h + 2*h*ffn + 4*h) * 4),
+	}
+}
+
+// Describe implements LayerSpec.
+func (l Transformer) Describe() string {
+	return fmt.Sprintf("transformer h=%d heads=%d T=%d", l.Hidden, l.Heads, l.SeqLen)
+}
+
+// Embedding is a lookup table; negligible compute, heavy parameters.
+type Embedding struct {
+	Name                  string
+	Vocab, Hidden, SeqLen int
+}
+
+// Measure implements LayerSpec.
+func (l Embedding) Measure(batch int, dev Device) model.Layer {
+	out := int64(l.SeqLen*l.Hidden) * 4 * int64(batch)
+	return model.Layer{
+		Name:        l.Name,
+		FwdTime:     float64(out) / 400e9, // bandwidth-bound gather
+		BwdTime:     float64(out) / 200e9,
+		OutputBytes: out,
+		StoredBytes: out,
+		ParamBytes:  int64(l.Vocab*l.Hidden) * 4,
+	}
+}
+
+// Describe implements LayerSpec.
+func (l Embedding) Describe() string { return fmt.Sprintf("embedding %dx%d", l.Vocab, l.Hidden) }
+
+// Arch is a profilable architecture.
+type Arch struct {
+	Name       string
+	Layers     []LayerSpec
+	DefaultGBS int
+	Optimizer  int   // bytes per parameter (model.AdamBytesPerParam, ...)
+	Workspace  int64 // fixed per-device overhead bytes
+}
+
+// Profiler measures architectures on a device.
+type Profiler struct {
+	Device Device
+}
+
+// New returns a Profiler for the given device.
+func New(dev Device) *Profiler { return &Profiler{Device: dev} }
+
+// Profile measures every layer at the given micro-batch size and assembles
+// the planner-ready model.
+func (p *Profiler) Profile(a Arch, batch int) (*model.Model, error) {
+	if len(a.Layers) == 0 {
+		return nil, fmt.Errorf("profile: architecture %q has no layers", a.Name)
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("profile: non-positive batch %d", batch)
+	}
+	layers := make([]model.Layer, len(a.Layers))
+	for i, spec := range a.Layers {
+		layers[i] = spec.Measure(batch, p.Device)
+		if layers[i].Name == "" {
+			layers[i].Name = fmt.Sprintf("layer%d(%s)", i, spec.Describe())
+		}
+	}
+	opt := a.Optimizer
+	if opt == 0 {
+		opt = model.AdamBytesPerParam
+	}
+	gbs := a.DefaultGBS
+	if gbs == 0 {
+		gbs = batch * 32
+	}
+	m := &model.Model{
+		Name:                   a.Name,
+		Layers:                 layers,
+		ProfileBatch:           batch,
+		DefaultGBS:             gbs,
+		OptimizerBytesPerParam: opt,
+		WorkspaceBytes:         a.Workspace,
+	}
+	return m, m.Validate()
+}

@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dapple/internal/model"
+)
+
+func dev() Device { return V100() }
+
+func TestDenseMeasure(t *testing.T) {
+	l := Dense{Name: "fc", In: 1024, Out: 512}.Measure(4, dev())
+	if l.ParamBytes != int64(1024*512+512)*4 {
+		t.Fatalf("params %d", l.ParamBytes)
+	}
+	if l.OutputBytes != 512*4*4 {
+		t.Fatalf("output %d", l.OutputBytes)
+	}
+	if l.BwdTime <= l.FwdTime {
+		t.Fatal("backward must cost more than forward")
+	}
+}
+
+func TestConvMeasure(t *testing.T) {
+	l := Conv2D{Name: "c", Cin: 64, Cout: 128, K: 3, H: 56, W: 56, Pool: true}.Measure(8, dev())
+	if l.OutputBytes != int64(28*28*128*4*8) {
+		t.Fatalf("pooled output %d", l.OutputBytes)
+	}
+	noPool := Conv2D{Cin: 64, Cout: 128, K: 3, H: 56, W: 56}.Measure(8, dev())
+	if noPool.OutputBytes != 4*l.OutputBytes {
+		t.Fatal("pooling should quarter the output")
+	}
+	if noPool.FwdTime != l.FwdTime {
+		t.Fatal("pooling should not change conv compute")
+	}
+}
+
+func TestTransformerMeasure(t *testing.T) {
+	l := Transformer{Hidden: 1024, Heads: 16, SeqLen: 384}.Measure(2, dev())
+	// 12 h^2-ish parameters.
+	wantParams := int64((4*1024*1024 + 2*1024*4096 + 4*1024) * 4)
+	if l.ParamBytes != wantParams {
+		t.Fatalf("params %d, want %d", l.ParamBytes, wantParams)
+	}
+	if l.StoredBytes <= l.OutputBytes {
+		t.Fatal("transformer retains more than its output")
+	}
+}
+
+func TestLSTMAndEmbedding(t *testing.T) {
+	l := LSTM{Hidden: 1024, SeqLen: 50}.Measure(64, dev())
+	if l.ParamBytes != int64(8*1024*1024+8*1024)*4 {
+		t.Fatalf("lstm params %d", l.ParamBytes)
+	}
+	e := Embedding{Vocab: 32000, Hidden: 1024, SeqLen: 50}.Measure(64, dev())
+	if e.ParamBytes != int64(32000*1024)*4 {
+		t.Fatalf("embedding params %d", e.ParamBytes)
+	}
+	if e.FwdTime >= l.FwdTime {
+		t.Fatal("embedding lookup should be far cheaper than LSTM")
+	}
+}
+
+func TestProfileAssemblesModel(t *testing.T) {
+	arch := Arch{
+		Name: "toy",
+		Layers: []LayerSpec{
+			Embedding{Vocab: 1000, Hidden: 64, SeqLen: 16},
+			Transformer{Hidden: 64, Heads: 4, SeqLen: 16},
+			Dense{In: 64, Out: 10},
+		},
+		DefaultGBS: 32,
+	}
+	m, err := New(dev()).Profile(arch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLayers() != 3 || m.ProfileBatch != 4 || m.DefaultGBS != 32 {
+		t.Fatalf("model %+v", m)
+	}
+	if m.OptimizerBytesPerParam != model.AdamBytesPerParam {
+		t.Fatal("default optimizer should be Adam")
+	}
+	for i, l := range m.Layers {
+		if l.Name == "" {
+			t.Fatalf("layer %d unnamed", i)
+		}
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	p := New(dev())
+	if _, err := p.Profile(Arch{Name: "empty"}, 4); err == nil {
+		t.Fatal("expected error for empty arch")
+	}
+	if _, err := p.Profile(Arch{Name: "bad", Layers: []LayerSpec{Dense{In: 1, Out: 1}}}, 0); err == nil {
+		t.Fatal("expected error for zero batch")
+	}
+}
+
+// Property: measured times and activation bytes scale linearly in batch.
+func TestMeasureLinearityProperty(t *testing.T) {
+	specs := []LayerSpec{
+		Dense{In: 128, Out: 64},
+		Conv2D{Cin: 16, Cout: 32, K: 3, H: 28, W: 28},
+		LSTM{Hidden: 128, SeqLen: 10},
+		Transformer{Hidden: 128, Heads: 4, SeqLen: 32},
+	}
+	f := func(si, b8 uint8) bool {
+		spec := specs[int(si)%len(specs)]
+		b := int(b8%16) + 1
+		l1 := spec.Measure(b, dev())
+		l2 := spec.Measure(2*b, dev())
+		if math.Abs(l2.FwdTime-2*l1.FwdTime) > 1e-12 {
+			return false
+		}
+		if l2.OutputBytes != 2*l1.OutputBytes {
+			return false
+		}
+		return l2.ParamBytes == l1.ParamBytes // params batch-independent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, s := range []LayerSpec{
+		Dense{In: 1, Out: 2}, Conv2D{Cin: 1, Cout: 2, K: 3, H: 4, W: 4},
+		LSTM{Hidden: 8, SeqLen: 2}, Transformer{Hidden: 8, Heads: 2, SeqLen: 4},
+		Embedding{Vocab: 10, Hidden: 4, SeqLen: 2},
+	} {
+		if s.Describe() == "" {
+			t.Fatalf("%T has empty description", s)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+// Package schedule builds executable task graphs for pipelined training
+// iterations and runs them on the discrete-event simulator: GPipe's
+// flush-style schedule and DAPPLE's early-backward schedule (§III), both with
+// optional activation re-computation, plus byte-accurate device memory
+// accounting and OOM detection.
+//
+// Each pipeline stage's replica group acts as one logical executor whose
+// per-micro-batch time is the stage time divided by its replication degree
+// (split-concat semantics, Fig. 8(a)); memory is accounted per physical
+// device (each replica holds the full stage parameters but only its slice of
+// activations).
+package schedule
+
+import (
+	"fmt"
+
+	"dapple/internal/core"
+	"dapple/internal/sim"
+)
+
+// Policy selects the micro-batch scheduling discipline.
+type Policy int
+
+const (
+	// GPipe injects all M micro-batches forward, then drains backward in
+	// reverse order (Fig. 3(a)): activation residency grows O(M).
+	GPipe Policy = iota
+	// DapplePA is DAPPLE early-backward scheduling with K_i = min(S-i, D)
+	// warmup micro-batches on stage i (§V-C policy A).
+	DapplePA
+	// DapplePB schedules twice the warmup depth, K_i = min(2(S-i)-1, D),
+	// for workloads with a notable activation-communication ratio (§V-C
+	// policy B).
+	DapplePB
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case GPipe:
+		return "GPipe"
+	case DapplePA:
+		return "DAPPLE-PA"
+	default:
+		return "DAPPLE-PB"
+	}
+}
+
+// recomputeFwdFraction is the extra compute charged to a backward task when
+// activation re-computation is on, as a fraction of the stage's forward time.
+// The paper (and the GPipe talk it cites) put the end-to-end cost of
+// re-computation near 20% of iteration time, which a 0.6x forward replay
+// reproduces for the typical B = 2F ratio.
+const recomputeFwdFraction = 0.6
+
+// applyTime is the weight-update time after the gradient all-reduce.
+const applyTime = 200e-6
+
+// Options configure one simulated training iteration.
+type Options struct {
+	Policy    Policy
+	Recompute bool
+
+	// M overrides the plan's micro-batch count when > 0 (Table VI varies M
+	// at fixed micro-batch size).
+	M int
+
+	// MemLimit is the per-device memory budget; 0 means the cluster's
+	// device memory. Negative disables memory accounting limits.
+	MemLimit int64
+}
+
+// Result reports one simulated iteration.
+type Result struct {
+	Plan     *core.Plan
+	Policy   Policy
+	M        int
+	IterTime float64 // seconds for one global batch
+	Samples  int     // samples consumed per iteration
+
+	// AvgPeakMem / MaxPeakMem are bytes across devices, including parameters,
+	// optimizer state and workspace.
+	AvgPeakMem float64
+	MaxPeakMem int64
+	PerStage   []StageStats
+
+	OOM      bool
+	OOMStage int
+
+	BubbleFraction float64 // idle fraction of compute-stage executors
+	Sim            *sim.Result
+	stageRes       []int
+}
+
+// StageStats summarizes one stage's executor and memory.
+type StageStats struct {
+	PeakMem     int64 // bytes per device of this stage
+	StaticMem   int64
+	Utilization float64
+	Warmup      int // K_i actually used
+}
+
+// Throughput returns samples/second.
+func (r *Result) Throughput() float64 {
+	if r.IterTime == 0 {
+		return 0
+	}
+	return float64(r.Samples) / r.IterTime
+}
+
+// MemTrace returns the memory-over-time curve of stage i's devices.
+func (r *Result) MemTrace(i int) []sim.MemPoint {
+	return r.Sim.MemTrace[i]
+}
+
+// StageResource returns the simulator resource index of stage i's executor,
+// for timeline inspection.
+func (r *Result) StageResource(i int) int { return r.stageRes[i] }
+
+// Run simulates one training iteration of the plan under the given options.
+func Run(p *core.Plan, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.M()
+	if opts.M > 0 {
+		m = opts.M
+	}
+	if m < 1 {
+		m = 1
+	}
+	limit := opts.MemLimit
+	if limit == 0 {
+		limit = p.Cluster.DeviceMemory
+	}
+
+	b := newBuilder(p, m, opts, limit)
+	b.build()
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: internal graph error: %w", err)
+	}
+	sr := b.g.Run()
+
+	res := &Result{
+		Plan:     p,
+		Policy:   opts.Policy,
+		M:        m,
+		IterTime: sr.Makespan,
+		Samples:  m * p.MicroBatch,
+		Sim:      sr,
+		OOMStage: -1,
+		stageRes: b.stageRes,
+	}
+	var memSum float64
+	var busy, span float64
+	for i := range p.Stages {
+		peak := sr.PeakMem[i]
+		st := StageStats{
+			PeakMem:     peak,
+			StaticMem:   b.static[i],
+			Utilization: sr.Utilization(b.stageRes[i]),
+			Warmup:      b.warmup[i],
+		}
+		res.PerStage = append(res.PerStage, st)
+		memSum += float64(peak) * float64(p.Stages[i].Replicas())
+		if peak > res.MaxPeakMem {
+			res.MaxPeakMem = peak
+		}
+		if limit > 0 && peak > limit && !res.OOM {
+			res.OOM = true
+			res.OOMStage = i
+		}
+		busy += sr.BusyTime[b.stageRes[i]]
+		span += sr.Makespan
+	}
+	nDev := 0
+	for _, s := range p.Stages {
+		nDev += s.Replicas()
+	}
+	res.AvgPeakMem = memSum / float64(nDev)
+	if span > 0 {
+		res.BubbleFraction = 1 - busy/span
+	}
+	return res, nil
+}
+
+// MustRun is Run for validated plans in examples and benches.
+func MustRun(p *core.Plan, opts Options) *Result {
+	r, err := Run(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// builder accumulates the task graph for one iteration.
+type builder struct {
+	p     *core.Plan
+	m     int
+	opts  Options
+	limit int64
+
+	g        *sim.Graph
+	stageRes []int
+	linkF    []int
+	linkB    []int
+
+	// per stage
+	static []int64 // params + optimizer + workspace, per device
+	perMB  []int64 // retained activation bytes per micro-batch per device
+	stash  []int64 // boundary stash per micro-batch per device (recompute)
+	warmup []int
+	fwd    [][]sim.TaskID // [stage][m]
+	bwd    [][]sim.TaskID
+	commF  [][]sim.TaskID
+	commB  [][]sim.TaskID
+}
+
+func newBuilder(p *core.Plan, m int, opts Options, limit int64) *builder {
+	s := len(p.Stages)
+	b := &builder{
+		p: p, m: m, opts: opts, limit: limit,
+		g:        sim.NewGraph(),
+		stageRes: make([]int, s),
+		linkF:    make([]int, s),
+		linkB:    make([]int, s),
+		static:   make([]int64, s),
+		perMB:    make([]int64, s),
+		stash:    make([]int64, s),
+		warmup:   make([]int, s),
+		fwd:      make([][]sim.TaskID, s),
+		bwd:      make([][]sim.TaskID, s),
+		commF:    make([][]sim.TaskID, s),
+		commB:    make([][]sim.TaskID, s),
+	}
+	for i := range p.Stages {
+		b.stageRes[i] = b.g.Resource(fmt.Sprintf("stage%d", i))
+		if i < s-1 {
+			b.linkF[i] = b.g.Resource(fmt.Sprintf("link%d.fwd", i))
+			b.linkB[i] = b.g.Resource(fmt.Sprintf("link%d.bwd", i))
+		}
+		b.fwd[i] = make([]sim.TaskID, m)
+		b.bwd[i] = make([]sim.TaskID, m)
+		b.commF[i] = make([]sim.TaskID, m)
+		b.commB[i] = make([]sim.TaskID, m)
+	}
+	return b
+}
+
+// stageMemory fills static/perMB/stash for every stage.
+func (b *builder) stageMemory() {
+	p := b.p
+	for i, s := range p.Stages {
+		params := p.StageParamBytes(i)
+		b.static[i] = p.Model.OptimizerStateBytes(params) + p.Model.WorkspaceBytes
+		r := int64(s.Replicas())
+		b.perMB[i] = p.Model.RangeStoredBytes(s.Lo, s.Hi, p.MicroBatch) / r
+		if s.Lo > 0 {
+			b.stash[i] = p.Model.OutputBytes(s.Lo-1, p.MicroBatch) / r
+		} else {
+			// First stage stashes its input micro-batch slice; approximate
+			// with the smallest boundary in the model.
+			min := p.Model.Layers[0].OutputBytes
+			for _, l := range p.Model.Layers {
+				if l.OutputBytes < min {
+					min = l.OutputBytes
+				}
+			}
+			b.stash[i] = p.Model.OutputBytes(0, p.MicroBatch) / (4 * r)
+			if alt := int64(float64(min) * float64(p.MicroBatch) / float64(p.Model.ProfileBatch)); alt < b.stash[i] {
+				b.stash[i] = alt
+			}
+		}
+	}
+}
+
+// memCap returns D for stage i: how many micro-batches of retained state fit
+// the device budget alongside static allocations. Without a positive limit
+// every micro-batch fits.
+func (b *builder) memCap(i int) int {
+	if b.limit <= 0 {
+		return b.m
+	}
+	free := b.limit - b.static[i]
+	var per int64
+	if b.opts.Recompute {
+		per = b.stash[i]
+		free -= b.perMB[i] // one micro-batch materializes fully during backward
+	} else {
+		per = b.perMB[i]
+	}
+	if per <= 0 {
+		return b.m
+	}
+	d := int(free / per)
+	if d < 1 {
+		d = 1 // schedule anyway; the run flags OOM
+	}
+	if d > b.m {
+		d = b.m
+	}
+	return d
+}
+
+// warmupDepth returns K_i for the policy.
+func (b *builder) warmupDepth(i int) int {
+	s := len(b.p.Stages)
+	var k int
+	switch b.opts.Policy {
+	case GPipe:
+		// GPipe injects everything and simply OOMs when it does not fit;
+		// it has no adaptive warmup depth.
+		return b.m
+	case DapplePA:
+		k = s - i
+	case DapplePB:
+		k = 2*(s-i) - 1
+	}
+	if d := b.memCap(i); k > d {
+		k = d
+	}
+	if k > b.m {
+		k = b.m
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (b *builder) build() {
+	p := b.p
+	b.stageMemory()
+
+	// Static allocations present for the whole iteration.
+	for i := range p.Stages {
+		b.g.Add(sim.Task{
+			Name: fmt.Sprintf("init.s%d", i), Kind: "init",
+			Resource: sim.NoResource, MemDevice: i, AllocBytes: b.static[i],
+		})
+	}
+
+	for i := range p.Stages {
+		f := p.StageFwdTime(i)
+		bw := p.StageBwdTime(i)
+		if b.opts.Recompute {
+			bw += recomputeFwdFraction * f
+		}
+		for m := 0; m < b.m; m++ {
+			var fAlloc int64
+			if b.opts.Recompute {
+				fAlloc = b.stash[i]
+			} else {
+				fAlloc = b.perMB[i]
+			}
+			b.fwd[i][m] = b.g.Add(sim.Task{
+				Name: fmt.Sprintf("F%d.s%d", m, i), Kind: "fwd",
+				Resource: b.stageRes[i], Duration: f,
+				MemDevice: i, AllocBytes: fAlloc, Priority: m,
+			})
+			var bAlloc, bFree int64
+			if b.opts.Recompute {
+				bAlloc = b.perMB[i]
+				bFree = b.perMB[i] + b.stash[i]
+			} else {
+				bFree = b.perMB[i]
+			}
+			b.bwd[i][m] = b.g.Add(sim.Task{
+				Name: fmt.Sprintf("B%d.s%d", m, i), Kind: "bwd",
+				Resource: b.stageRes[i], Duration: bw,
+				MemDevice: i, AllocBytes: bAlloc, FreeBytes: bFree, Priority: m,
+			})
+		}
+	}
+
+	// Data dependencies: forward chains via activation transfers, backward
+	// chains via gradient transfers; links are full duplex (separate forward
+	// and backward resources).
+	for i := 0; i < len(p.Stages)-1; i++ {
+		ct := p.CrossStageTime(i)
+		for m := 0; m < b.m; m++ {
+			b.commF[i][m] = b.g.Add(sim.Task{
+				Name: fmt.Sprintf("CF%d.s%d", m, i), Kind: "comm",
+				Resource: b.linkF[i], Duration: ct, Priority: m,
+			})
+			b.g.AddDep(b.commF[i][m], b.fwd[i][m])
+			b.g.AddDep(b.fwd[i+1][m], b.commF[i][m])
+
+			b.commB[i][m] = b.g.Add(sim.Task{
+				Name: fmt.Sprintf("CB%d.s%d", m, i), Kind: "comm",
+				Resource: b.linkB[i], Duration: ct, Priority: m,
+			})
+			b.g.AddDep(b.commB[i][m], b.bwd[i+1][m])
+			b.g.AddDep(b.bwd[i][m], b.commB[i][m])
+		}
+	}
+
+	// Control dependencies: per-stage execution order per policy (§V-C),
+	// realized exactly like the TF control edges of Fig. 11. Warmup depths
+	// must be non-increasing along the pipeline: a later stage holding more
+	// in-flight micro-batches than its predecessor deadlocks the strict
+	// interleave (its extra warmup forwards wait on inputs the predecessor
+	// will only produce after backwards the later stage has not sent yet),
+	// so memory-capped depths are clamped front to back.
+	for i := range p.Stages {
+		b.warmup[i] = b.warmupDepth(i)
+		if i > 0 && b.warmup[i] > b.warmup[i-1] {
+			b.warmup[i] = b.warmup[i-1]
+		}
+	}
+	for i := range p.Stages {
+		order := stageOrder(b.opts.Policy, b.m, b.warmup[i])
+		for j := 1; j < len(order); j++ {
+			prev, cur := order[j-1], order[j]
+			b.g.AddDep(b.task(i, cur), b.task(i, prev))
+		}
+	}
+
+	// Gradient sync + weight update per stage at iteration end (Fig. 10).
+	for i := range p.Stages {
+		ar := b.g.Add(sim.Task{
+			Name: fmt.Sprintf("AR.s%d", i), Kind: "allreduce",
+			Resource: b.stageRes[i], Duration: p.StageAllReduceTime(i) + applyTime,
+		})
+		for m := 0; m < b.m; m++ {
+			b.g.AddDep(ar, b.bwd[i][m])
+		}
+	}
+}
+
+// op is one step of a stage's execution order.
+type op struct {
+	backward bool
+	m        int
+}
+
+func (b *builder) task(stage int, o op) sim.TaskID {
+	if o.backward {
+		return b.bwd[stage][o.m]
+	}
+	return b.fwd[stage][o.m]
+}
+
+// stageOrder lists a stage's FW/BW sequence under the policy: GPipe runs all
+// forwards then backwards in reverse; DAPPLE runs k warmup forwards then
+// strictly interleaves one backward with one forward (Fig. 3(b)).
+func stageOrder(p Policy, m, k int) []op {
+	var order []op
+	if p == GPipe {
+		for i := 0; i < m; i++ {
+			order = append(order, op{false, i})
+		}
+		for i := m - 1; i >= 0; i-- {
+			order = append(order, op{true, i})
+		}
+		return order
+	}
+	if k > m {
+		k = m
+	}
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i < k; i++ {
+		order = append(order, op{false, i})
+	}
+	next := k
+	for i := 0; i < m; i++ {
+		order = append(order, op{true, i})
+		if next < m {
+			order = append(order, op{false, next})
+			next++
+		}
+	}
+	return order
+}

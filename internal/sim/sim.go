@@ -1,0 +1,324 @@
+// Package sim is a deterministic discrete-event simulator for dependent task
+// graphs over exclusive resources (devices, network links). It substitutes
+// for the paper's TensorFlow runtime on GPU clusters: schedule builders emit
+// tasks with data/control dependencies, and the engine produces per-task
+// timelines, resource utilization, and byte-accurate memory traces.
+//
+// Semantics: every task optionally occupies one resource for Duration
+// seconds; a task becomes ready when all dependencies have finished; a
+// resource executes one task at a time. Among runnable tasks the engine picks
+// the one that can start earliest, breaking ties by priority then insertion
+// order, which makes runs fully deterministic.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TaskID identifies a task within a Graph.
+type TaskID int
+
+// NoResource marks tasks that consume no resource time (pure ordering nodes).
+const NoResource = -1
+
+// Task is one unit of simulated work.
+type Task struct {
+	ID       TaskID
+	Name     string
+	Kind     string // free-form label surfaced in traces ("fwd", "bwd", "comm", "allreduce", ...)
+	Resource int    // executing resource, or NoResource
+	Duration float64
+	Priority int // lower runs first among simultaneously-startable tasks
+
+	// Memory accounting: AllocBytes are charged to MemDevice when the task
+	// starts, FreeBytes credited when it ends. MemDevice < 0 disables it.
+	AllocBytes int64
+	FreeBytes  int64
+	MemDevice  int
+
+	deps []TaskID
+}
+
+// Graph is a task DAG under construction.
+type Graph struct {
+	tasks     []*Task
+	resources []string
+	resIndex  map[string]int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{resIndex: map[string]int{}}
+}
+
+// Resource interns a named resource and returns its index.
+func (g *Graph) Resource(name string) int {
+	if i, ok := g.resIndex[name]; ok {
+		return i
+	}
+	i := len(g.resources)
+	g.resources = append(g.resources, name)
+	g.resIndex[name] = i
+	return i
+}
+
+// NumTasks returns the number of tasks added so far.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// Add appends a task and returns its ID. The task's ID field is filled in.
+func (g *Graph) Add(t Task) TaskID {
+	t.ID = TaskID(len(g.tasks))
+	if t.MemDevice == 0 && t.AllocBytes == 0 && t.FreeBytes == 0 {
+		t.MemDevice = -1
+	}
+	tt := t
+	g.tasks = append(g.tasks, &tt)
+	return tt.ID
+}
+
+// AddDep records that task depends on dep.
+func (g *Graph) AddDep(task, dep TaskID) {
+	if dep < 0 || task < 0 {
+		return
+	}
+	t := g.tasks[task]
+	t.deps = append(t.deps, dep)
+}
+
+// Task returns the task with the given id (for inspection in tests).
+func (g *Graph) Task(id TaskID) *Task { return g.tasks[id] }
+
+// Span is one executed task in the result timeline.
+type Span struct {
+	Task       TaskID
+	Name, Kind string
+	Resource   int
+	Start, End float64
+}
+
+// MemPoint is one step of a device's memory-over-time trace.
+type MemPoint struct {
+	Time  float64
+	Bytes int64
+}
+
+// Result is the outcome of executing a Graph.
+type Result struct {
+	Spans     []Span
+	Makespan  float64
+	Resources []string
+
+	// BusyTime per resource; utilization is BusyTime/Makespan.
+	BusyTime []float64
+
+	// PeakMem and MemTrace are indexed by memory-device id.
+	PeakMem  map[int]int64
+	MemTrace map[int][]MemPoint
+}
+
+// ResourceIndex returns the index of the named resource, or -1.
+func (r *Result) ResourceIndex(name string) int {
+	for i, n := range r.Resources {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Utilization returns resource r's busy fraction of the makespan.
+func (r *Result) Utilization(res int) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return r.BusyTime[res] / r.Makespan
+}
+
+// AvgUtilization averages utilization over the given resources, or all when
+// none are specified.
+func (r *Result) AvgUtilization(res ...int) float64 {
+	if len(res) == 0 {
+		for i := range r.Resources {
+			res = append(res, i)
+		}
+	}
+	var sum float64
+	for _, i := range res {
+		sum += r.Utilization(i)
+	}
+	return sum / float64(len(res))
+}
+
+// MaxPeakMem returns the largest per-device peak.
+func (r *Result) MaxPeakMem() int64 {
+	var m int64
+	for _, v := range r.PeakMem {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AvgPeakMem returns the mean per-device peak across devices that allocated.
+func (r *Result) AvgPeakMem() float64 {
+	if len(r.PeakMem) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.PeakMem {
+		sum += float64(v)
+	}
+	return sum / float64(len(r.PeakMem))
+}
+
+// Run executes the graph and returns its timeline. It panics on dependency
+// cycles (a builder bug, not an input condition).
+func (g *Graph) Run() *Result {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	children := make([][]TaskID, n)
+	for _, t := range g.tasks {
+		indeg[t.ID] = len(t.deps)
+		for _, d := range t.deps {
+			children[d] = append(children[d], t.ID)
+		}
+	}
+
+	ready := make([]float64, n) // earliest start from dependencies
+	done := make([]bool, n)
+	resFree := make([]float64, len(g.resources))
+
+	// runnable holds tasks whose deps are satisfied.
+	var runnable []TaskID
+	for _, t := range g.tasks {
+		if indeg[t.ID] == 0 {
+			runnable = append(runnable, t.ID)
+		}
+	}
+
+	res := &Result{
+		Resources: append([]string(nil), g.resources...),
+		BusyTime:  make([]float64, len(g.resources)),
+		PeakMem:   map[int]int64{},
+		MemTrace:  map[int][]MemPoint{},
+	}
+	curMem := map[int]int64{}
+	type memEvent struct {
+		time  float64
+		delta int64
+		dev   int
+		order int
+	}
+	var memEvents []memEvent
+
+	executed := 0
+	for executed < n {
+		if len(runnable) == 0 {
+			panic("sim: dependency cycle in task graph")
+		}
+		// Pick the runnable task that can start earliest.
+		best, bestStart := -1, math.Inf(1)
+		for i, id := range runnable {
+			t := g.tasks[id]
+			start := ready[id]
+			if t.Resource != NoResource && resFree[t.Resource] > start {
+				start = resFree[t.Resource]
+			}
+			better := start < bestStart
+			if !better && start == bestStart {
+				b := g.tasks[runnable[best]]
+				if t.Priority != b.Priority {
+					better = t.Priority < b.Priority
+				} else {
+					better = id < runnable[best]
+				}
+			}
+			if better {
+				best, bestStart = i, start
+			}
+		}
+		id := runnable[best]
+		runnable[best] = runnable[len(runnable)-1]
+		runnable = runnable[:len(runnable)-1]
+
+		t := g.tasks[id]
+		start := bestStart
+		end := start + t.Duration
+		if t.Resource != NoResource {
+			resFree[t.Resource] = end
+			res.BusyTime[t.Resource] += t.Duration
+		}
+		res.Spans = append(res.Spans, Span{
+			Task: id, Name: t.Name, Kind: t.Kind, Resource: t.Resource,
+			Start: start, End: end,
+		})
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		if t.MemDevice >= 0 {
+			if t.AllocBytes != 0 {
+				memEvents = append(memEvents, memEvent{start, t.AllocBytes, t.MemDevice, len(memEvents)})
+			}
+			if t.FreeBytes != 0 {
+				memEvents = append(memEvents, memEvent{end, -t.FreeBytes, t.MemDevice, len(memEvents)})
+			}
+		}
+		done[id] = true
+		executed++
+		for _, c := range children[id] {
+			if ready[c] < end {
+				ready[c] = end
+			}
+			indeg[c]--
+			if indeg[c] == 0 {
+				runnable = append(runnable, c)
+			}
+		}
+	}
+
+	// Replay memory events in time order (allocations before frees at equal
+	// times would under-count peaks, so frees at the same instant apply
+	// after allocations recorded earlier in program order).
+	sort.Slice(memEvents, func(i, j int) bool {
+		if memEvents[i].time != memEvents[j].time {
+			return memEvents[i].time < memEvents[j].time
+		}
+		return memEvents[i].order < memEvents[j].order
+	})
+	for _, ev := range memEvents {
+		curMem[ev.dev] += ev.delta
+		if curMem[ev.dev] > res.PeakMem[ev.dev] {
+			res.PeakMem[ev.dev] = curMem[ev.dev]
+		}
+		res.MemTrace[ev.dev] = append(res.MemTrace[ev.dev], MemPoint{ev.time, curMem[ev.dev]})
+	}
+
+	sort.Slice(res.Spans, func(i, j int) bool {
+		if res.Spans[i].Start != res.Spans[j].Start {
+			return res.Spans[i].Start < res.Spans[j].Start
+		}
+		return res.Spans[i].Task < res.Spans[j].Task
+	})
+	return res
+}
+
+// Validate checks the graph for out-of-range dependencies and resources.
+func (g *Graph) Validate() error {
+	for _, t := range g.tasks {
+		if t.Resource != NoResource && (t.Resource < 0 || t.Resource >= len(g.resources)) {
+			return fmt.Errorf("sim: task %d (%s) uses unknown resource %d", t.ID, t.Name, t.Resource)
+		}
+		if t.Duration < 0 {
+			return fmt.Errorf("sim: task %d (%s) has negative duration", t.ID, t.Name)
+		}
+		for _, d := range t.deps {
+			if d < 0 || int(d) >= len(g.tasks) {
+				return fmt.Errorf("sim: task %d (%s) depends on unknown task %d", t.ID, t.Name, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewShape(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("got %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row(1)[2] = %v", row[2])
+	}
+	row[0] = 5 // views share storage
+	if m.At(1, 0) != 5 {
+		t.Fatalf("row view not shared")
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad length")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if !almostEq(c.Data[i], w) {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// TestMatMulParallelMatchesSerial checks the banded parallel path against a
+// naive triple loop on shapes above the parallel threshold.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(97, 83)
+	b := New(83, 71)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	got := MatMul(a, b)
+	want := New(97, 71)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("parallel matmul differs by %g", d)
+	}
+}
+
+func TestMatMulATB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(13, 7)
+	b := New(13, 5)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	got := MatMulATB(a, b)
+	// aᵀ@b via explicit transpose.
+	at := New(7, 13)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("ATB differs by %g", d)
+	}
+}
+
+func TestMatMulABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(9, 6)
+	b := New(11, 6)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	got := MatMulABT(a, b)
+	bt := New(6, 11)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want := MatMul(a, bt)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("ABT differs by %g", d)
+	}
+}
+
+func TestAddAXPYScale(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, 2, 3})
+	o := FromSlice(1, 3, []float64{10, 20, 30})
+	m.Add(o)
+	if m.Data[1] != 22 {
+		t.Fatalf("Add: %v", m.Data)
+	}
+	m.AXPY(0.5, o)
+	if m.Data[2] != 33+15 {
+		t.Fatalf("AXPY: %v", m.Data)
+	}
+	m.Scale(2)
+	if m.Data[0] != 2*(1+10+5) {
+		t.Fatalf("Scale: %v", m.Data)
+	}
+}
+
+func TestAddRowVecSumRows(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	m.AddRowVec([]float64{10, 20})
+	want := []float64{11, 22, 13, 24}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddRowVec: %v", m.Data)
+		}
+	}
+	s := m.SumRows()
+	if s[0] != 24 || s[1] != 46 {
+		t.Fatalf("SumRows: %v", s)
+	}
+}
+
+func TestSplitConcatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := New(11, 3)
+	m.Randomize(rng, 1)
+	parts := m.SplitRows(4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	rows := 0
+	for _, p := range parts {
+		rows += p.Rows
+	}
+	if rows != 11 {
+		t.Fatalf("parts cover %d rows", rows)
+	}
+	back := ConcatRows(parts...)
+	if d := MaxAbsDiff(m, back); d != 0 {
+		t.Fatalf("round trip differs by %g", d)
+	}
+}
+
+// Property: split/concat round-trips for arbitrary shapes and part counts.
+func TestSplitConcatProperty(t *testing.T) {
+	f := func(rows8, cols8, n8 uint8) bool {
+		rows := int(rows8%40) + 1
+		cols := int(cols8%8) + 1
+		n := int(n8%uint8(rows)) + 1
+		rng := rand.New(rand.NewSource(int64(rows*100 + cols*10 + n)))
+		m := New(rows, cols)
+		m.Randomize(rng, 1)
+		back := ConcatRows(m.SplitRows(n)...)
+		return MaxAbsDiff(m, back) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (a@b)@c == a@(b@c) within float tolerance.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := New(5, 4), New(4, 6), New(6, 3)
+		a.Randomize(rng, 1)
+		b.Randomize(rng, 1)
+		c.Randomize(rng, 1)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return MaxAbsDiff(left, right) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowSliceBounds(t *testing.T) {
+	m := New(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.RowSlice(2, 6)
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 5, -2})
+	b := FromSlice(1, 3, []float64{1, 2, -4})
+	if d := MaxAbsDiff(a, b); d != 3 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+}

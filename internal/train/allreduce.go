@@ -1,0 +1,88 @@
+// Package train is the real concurrent training runtime: goroutines are
+// devices, channels are interconnects. It executes the same schedules the
+// simulator models — sequential accumulation, data parallelism with a real
+// ring all-reduce, and GPipe/DAPPLE pipelines with split/concat stage
+// replication — on genuine gradient math (packages tensor, nn), which is how
+// this reproduction *proves* the paper's claim that DAPPLE scheduling yields
+// gradients equivalent to sequential execution.
+package train
+
+import "sync"
+
+// RingAllReduce sums the participants' equal-length vectors in place using
+// the standard ring algorithm: n-1 reduce-scatter steps followed by n-1
+// all-gather steps, each participant running as its own goroutine and
+// exchanging chunks over channels. On return every buffer holds the
+// element-wise sum.
+func RingAllReduce(bufs [][]float64) {
+	n := len(bufs)
+	if n <= 1 {
+		return
+	}
+	size := len(bufs[0])
+	for _, b := range bufs[1:] {
+		if len(b) != size {
+			panic("train: ring all-reduce buffers differ in length")
+		}
+	}
+	if size == 0 {
+		return
+	}
+
+	// chunk returns the [lo, hi) bounds of chunk c.
+	chunk := func(c int) (int, int) {
+		base, extra := size/n, size%n
+		lo := c*base + min(c, extra)
+		sz := base
+		if c < extra {
+			sz++
+		}
+		return lo, lo + sz
+	}
+
+	// ch[i] carries chunks from rank i to rank (i+1) mod n.
+	ch := make([]chan []float64, n)
+	for i := range ch {
+		ch[i] = make(chan []float64, 1)
+	}
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			buf := bufs[rank]
+			send := ch[rank]
+			recv := ch[(rank-1+n)%n]
+
+			// Reduce-scatter: after step s, rank owns the full sum of chunk
+			// (rank+1) mod n at the end.
+			for s := 0; s < n-1; s++ {
+				c := (rank - s + n) % n
+				lo, hi := chunk(c)
+				out := make([]float64, hi-lo)
+				copy(out, buf[lo:hi])
+				send <- out
+				in := <-recv
+				c2 := (rank - s - 1 + n) % n
+				lo2, _ := chunk(c2)
+				for i, v := range in {
+					buf[lo2+i] += v
+				}
+			}
+			// All-gather: circulate the completed chunks.
+			for s := 0; s < n-1; s++ {
+				c := (rank + 1 - s + n) % n
+				lo, hi := chunk(c)
+				out := make([]float64, hi-lo)
+				copy(out, buf[lo:hi])
+				send <- out
+				in := <-recv
+				c2 := (rank - s + n) % n
+				lo2, _ := chunk(c2)
+				copy(buf[lo2:lo2+len(in)], in)
+			}
+		}(rank)
+	}
+	wg.Wait()
+}

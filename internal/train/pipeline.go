@@ -1,0 +1,391 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"dapple/internal/nn"
+	"dapple/internal/tensor"
+)
+
+// Policy selects the pipeline schedule for the real runtime.
+type Policy int
+
+const (
+	// GPipeSchedule injects all micro-batches forward, then drains
+	// backward in reverse order (Fig. 3(a)).
+	GPipeSchedule Policy = iota
+	// DappleSchedule is early-backward scheduling: K_i = S-i warmup
+	// micro-batches, then strict one-forward-one-backward (Fig. 3(b)).
+	DappleSchedule
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == GPipeSchedule {
+		return "GPipe"
+	}
+	return "DAPPLE"
+}
+
+// PipelineConfig describes how to carve a network into a pipeline.
+type PipelineConfig struct {
+	// Cuts are exclusive layer end indices per stage, covering the network.
+	Cuts []int
+	// Replicas is the per-stage replication degree (1 = no replication).
+	// Micro-batches are row-split across replicas and re-concatenated at
+	// stage boundaries (the split/concat nodes of §V-B2).
+	Replicas []int
+	Policy   Policy
+	// Recompute stashes only each stage's input and re-runs the forward
+	// pass during backward (§III re-computation).
+	Recompute bool
+}
+
+// Pipeline executes a network as a multi-goroutine pipeline with DAPPLE or
+// GPipe scheduling and optional stage replication.
+type Pipeline struct {
+	cfg    PipelineConfig
+	stages []*pstage
+}
+
+// pstage is one pipeline stage: r replica networks plus their optimizers.
+type pstage struct {
+	nets []*nn.Network
+	opts []nn.Optimizer
+}
+
+// StepStats reports one pipeline iteration of the real runtime.
+type StepStats struct {
+	Loss float64
+	// MaxStash is the peak number of concurrently stashed micro-batches per
+	// stage — the real counterpart of the Fig. 3(c) memory curves (GPipe
+	// reaches M; DAPPLE stays at its warmup depth).
+	MaxStash []int
+	// MaxStashBytes is the peak stashed activation volume per stage.
+	MaxStashBytes []int64
+}
+
+// NewPipeline carves master into stages per cfg. Replica networks are deep
+// copies, so master remains the reference weights.
+func NewPipeline(master *nn.Network, cfg PipelineConfig, optFactory func() nn.Optimizer) (*Pipeline, error) {
+	s := len(cfg.Cuts)
+	if s == 0 {
+		return nil, fmt.Errorf("train: pipeline with no stages")
+	}
+	if len(cfg.Replicas) == 0 {
+		cfg.Replicas = make([]int, s)
+		for i := range cfg.Replicas {
+			cfg.Replicas[i] = 1
+		}
+	}
+	if len(cfg.Replicas) != s {
+		return nil, fmt.Errorf("train: %d replica degrees for %d stages", len(cfg.Replicas), s)
+	}
+	p := &Pipeline{cfg: cfg}
+	lo := 0
+	for i := 0; i < s; i++ {
+		hi := cfg.Cuts[i]
+		if hi <= lo || hi > len(master.Layers) {
+			return nil, fmt.Errorf("train: bad cut %d (lo %d, %d layers)", hi, lo, len(master.Layers))
+		}
+		if cfg.Replicas[i] < 1 {
+			return nil, fmt.Errorf("train: stage %d has %d replicas", i, cfg.Replicas[i])
+		}
+		st := &pstage{}
+		part := master.Slice(lo, hi)
+		for r := 0; r < cfg.Replicas[i]; r++ {
+			st.nets = append(st.nets, part.Clone())
+			st.opts = append(st.opts, optFactory())
+		}
+		p.stages = append(p.stages, st)
+		lo = hi
+	}
+	if lo != len(master.Layers) {
+		return nil, fmt.Errorf("train: cuts cover %d of %d layers", lo, len(master.Layers))
+	}
+	return p, nil
+}
+
+// NumStages returns the stage count.
+func (p *Pipeline) NumStages() int { return len(p.stages) }
+
+// StageParams returns the parameters of stage i's replica r (for equivalence
+// checks against a reference network).
+func (p *Pipeline) StageParams(i, r int) []nn.Param { return p.stages[i].nets[r].Params() }
+
+// msg carries one micro-batch's tensor between stages.
+type msg struct {
+	m    int
+	data *tensor.Matrix
+}
+
+// pipeOp is one step of a stage's schedule.
+type pipeOp struct {
+	backward bool
+	m        int
+}
+
+// scheduleOrder lists the FW/BW sequence for a stage: GPipe runs all
+// forwards then backwards in reverse; DAPPLE runs k warmup forwards then
+// strictly alternates backward/forward (the §V-C control-dependency order).
+func scheduleOrder(p Policy, m, k int) []pipeOp {
+	var order []pipeOp
+	if p == GPipeSchedule {
+		for i := 0; i < m; i++ {
+			order = append(order, pipeOp{false, i})
+		}
+		for i := m - 1; i >= 0; i-- {
+			order = append(order, pipeOp{true, i})
+		}
+		return order
+	}
+	if k > m {
+		k = m
+	}
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i < k; i++ {
+		order = append(order, pipeOp{false, i})
+	}
+	next := k
+	for i := 0; i < m; i++ {
+		order = append(order, pipeOp{true, i})
+		if next < m {
+			order = append(order, pipeOp{false, next})
+			next++
+		}
+	}
+	return order
+}
+
+// stash holds one in-flight micro-batch's backward state on a stage.
+type stash struct {
+	input *tensor.Matrix // retained input (recompute mode)
+	ctxs  [][]nn.Ctx     // per replica, per layer (direct mode)
+	parts []int          // replica row partition of the micro-batch
+	bytes int64
+}
+
+// Step executes one training iteration over the micro-batches and applies
+// synchronized updates. All stages run concurrently as goroutines connected
+// by activation and gradient channels.
+func (p *Pipeline) Step(micros []Batch) (StepStats, error) {
+	s := len(p.stages)
+	m := len(micros)
+	if m == 0 {
+		return StepStats{}, fmt.Errorf("train: no micro-batches")
+	}
+	for _, b := range micros {
+		if err := b.Validate(); err != nil {
+			return StepStats{}, err
+		}
+	}
+
+	act := make([]chan msg, s-1)
+	grad := make([]chan msg, s-1)
+	for i := range act {
+		act[i] = make(chan msg, m)
+		grad[i] = make(chan msg, m)
+	}
+	stats := StepStats{
+		MaxStash:      make([]int, s),
+		MaxStashBytes: make([]int64, s),
+	}
+	lossCh := make(chan float64, 1)
+	errs := make([]error, s)
+
+	var wg sync.WaitGroup
+	for i := range p.stages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.runStage(i, micros, act, grad, &stats, lossCh)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	stats.Loss = <-lossCh
+
+	// Gradient sync and weight update (Fig. 10): per stage, sum replica
+	// gradients with a real ring all-reduce, average over micro-batches,
+	// apply identical updates per replica.
+	for _, st := range p.stages {
+		if len(st.nets) > 1 {
+			bufs := make([][]float64, len(st.nets))
+			for r, net := range st.nets {
+				bufs[r] = GradVector(net.Params())
+			}
+			RingAllReduce(bufs)
+			for r, net := range st.nets {
+				setGradVector(net.Params(), bufs[r])
+			}
+		}
+		for r, net := range st.nets {
+			scaleGrads(net.Params(), 1/float64(m))
+			st.opts[r].Step(net.Params())
+		}
+	}
+	return stats, nil
+}
+
+// runStage executes stage i's schedule.
+func (p *Pipeline) runStage(i int, micros []Batch, act, grad []chan msg, stats *StepStats, lossCh chan<- float64) error {
+	st := p.stages[i]
+	s := len(p.stages)
+	m := len(micros)
+	k := m
+	if p.cfg.Policy == DappleSchedule {
+		k = s - i
+	}
+	order := scheduleOrder(p.cfg.Policy, m, k)
+
+	stashes := make(map[int]*stash, m)
+	pendingDy := make(map[int]*tensor.Matrix, m) // last stage: loss grads
+	var loss float64
+	var curBytes int64
+
+	for _, o := range order {
+		if !o.backward {
+			// ---- forward of micro-batch o.m ----
+			var x *tensor.Matrix
+			if i == 0 {
+				x = micros[o.m].X
+			} else {
+				in := <-act[i-1]
+				if in.m != o.m {
+					return fmt.Errorf("train: stage %d expected F%d, got F%d", i, o.m, in.m)
+				}
+				x = in.data
+			}
+			sh := &stash{}
+			out, err := p.forwardStage(st, x, sh)
+			if err != nil {
+				return err
+			}
+			if p.cfg.Recompute {
+				sh.input = x.Clone()
+				sh.ctxs = nil
+				sh.bytes = int64(len(sh.input.Data)) * 8
+			}
+			stashes[o.m] = sh
+			curBytes += sh.bytes
+			if len(stashes) > stats.MaxStash[i] {
+				stats.MaxStash[i] = len(stashes)
+			}
+			if curBytes > stats.MaxStashBytes[i] {
+				stats.MaxStashBytes[i] = curBytes
+			}
+			if i == s-1 {
+				l, dy := nn.SoftmaxCrossEntropy(out, micros[o.m].Y)
+				loss += l
+				pendingDy[o.m] = dy
+			} else {
+				act[i] <- msg{o.m, out}
+			}
+			continue
+		}
+
+		// ---- backward of micro-batch o.m ----
+		var dy *tensor.Matrix
+		if i == s-1 {
+			dy = pendingDy[o.m]
+			delete(pendingDy, o.m)
+		} else {
+			in := <-grad[i]
+			if in.m != o.m {
+				return fmt.Errorf("train: stage %d expected B%d, got B%d", i, o.m, in.m)
+			}
+			dy = in.data
+		}
+		sh := stashes[o.m]
+		if sh == nil {
+			return fmt.Errorf("train: stage %d backward B%d without stash", i, o.m)
+		}
+		if p.cfg.Recompute {
+			// Re-run the forward pass to regenerate activation contexts.
+			resh := &stash{}
+			if _, err := p.forwardStage(st, sh.input, resh); err != nil {
+				return err
+			}
+			sh.ctxs, sh.parts = resh.ctxs, resh.parts
+		}
+		dx, err := p.backwardStage(st, sh, dy)
+		if err != nil {
+			return err
+		}
+		delete(stashes, o.m)
+		curBytes -= sh.bytes
+		if i > 0 {
+			grad[i-1] <- msg{o.m, dx}
+		}
+	}
+	if i == s-1 {
+		lossCh <- loss / float64(m)
+	}
+	return nil
+}
+
+// forwardStage runs x through the stage's replicas in parallel, recording
+// contexts and the replica row partition in sh, and returns the concatenated
+// output (§V-B2 split/concat).
+func (p *Pipeline) forwardStage(st *pstage, x *tensor.Matrix, sh *stash) (*tensor.Matrix, error) {
+	r := len(st.nets)
+	if x.Rows < r {
+		return nil, fmt.Errorf("train: micro-batch of %d rows split across %d replicas", x.Rows, r)
+	}
+	parts := x.SplitRows(r)
+	outs := make([]*tensor.Matrix, r)
+	sh.ctxs = make([][]nn.Ctx, r)
+	sh.parts = make([]int, r)
+	var wg sync.WaitGroup
+	for ri := 0; ri < r; ri++ {
+		sh.parts[ri] = parts[ri].Rows
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			outs[ri], sh.ctxs[ri] = st.nets[ri].Forward(parts[ri])
+		}(ri)
+	}
+	wg.Wait()
+	for ri := range sh.ctxs {
+		for _, c := range sh.ctxs[ri] {
+			sh.bytes += nn.StashBytes(c)
+		}
+	}
+	if r == 1 {
+		return outs[0], nil
+	}
+	return tensor.ConcatRows(outs...), nil
+}
+
+// backwardStage distributes dy across replicas using the stored row
+// partition, runs backward in parallel, and concatenates input gradients.
+func (p *Pipeline) backwardStage(st *pstage, sh *stash, dy *tensor.Matrix) (*tensor.Matrix, error) {
+	r := len(st.nets)
+	if len(sh.parts) != r {
+		return nil, fmt.Errorf("train: stash partition %d for %d replicas", len(sh.parts), r)
+	}
+	dxs := make([]*tensor.Matrix, r)
+	var wg sync.WaitGroup
+	lo := 0
+	for ri := 0; ri < r; ri++ {
+		slice := dy.RowSlice(lo, lo+sh.parts[ri])
+		lo += sh.parts[ri]
+		wg.Add(1)
+		go func(ri int, slice *tensor.Matrix) {
+			defer wg.Done()
+			dxs[ri] = st.nets[ri].Backward(sh.ctxs[ri], slice)
+		}(ri, slice)
+	}
+	wg.Wait()
+	if r == 1 {
+		return dxs[0], nil
+	}
+	return tensor.ConcatRows(dxs...), nil
+}
