@@ -10,6 +10,7 @@ package dapple
 //	go test -bench=BenchmarkTable6 -v
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func runExperiment(b *testing.B, id string) {
 	opts := experiments.Options{Quick: true}
 	var rows int
 	for i := 0; i < b.N; i++ {
-		rep := g.Run(opts)
+		rep := g.Run(context.Background(), opts)
 		rows = len(rep.Rows)
 	}
 	b.ReportMetric(float64(rows), "rows")

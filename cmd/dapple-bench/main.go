@@ -1,6 +1,7 @@
 // Command dapple-bench regenerates the paper's evaluation tables and figures
 // from the reproduction's workload generators, planner and schedule
-// simulator.
+// simulator. The full sweep takes ~30 s; every generator threads the
+// command's context, so -timeout bounds it and ctrl-C stops it promptly.
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	dapple-bench -exp table5       # one experiment
 //	dapple-bench -list             # available experiment ids
 //	dapple-bench -exp fig12 -quick # trimmed sweeps
+//	dapple-bench -exp all -timeout 20s
 package main
 
 import (
@@ -16,12 +18,14 @@ import (
 	"os"
 	"time"
 
+	"dapple/internal/cliutil"
 	"dapple/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (tableN, figN) or 'all'")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -32,12 +36,22 @@ func main() {
 		return
 	}
 
+	ctx, cancel := cliutil.RootContext(*timeout)
+	defer cancel()
+
 	opts := experiments.Options{Quick: *quick}
 	run := func(g experiments.Generator) {
 		start := time.Now()
-		rep := g.Run(opts)
+		rep := g.Run(ctx, opts)
 		fmt.Println(rep)
 		fmt.Printf("(%s generated in %.1fs)\n\n", g.ID, time.Since(start).Seconds())
+		// A truncated report is a failure for scripts regenerating the
+		// paper's tables: exit non-zero rather than shipping partial data.
+		// (A deadline firing just after a complete report is not a failure.)
+		if rep.Truncated() {
+			fmt.Fprintf(os.Stderr, "stopped: %v\n", ctx.Err())
+			os.Exit(1)
+		}
 	}
 
 	if *exp == "all" {

@@ -1,11 +1,13 @@
 // Command dapple-trace renders schedule timelines for a planned model: an
 // ASCII Gantt chart per scheduling policy, the per-stage memory curves of
-// Fig. 3(c), and optional Chrome trace JSON.
+// Fig. 3(c), and optional Chrome trace JSON. Planning runs through the
+// engine API, so -strategy selects any registered planner.
 //
 // Usage:
 //
 //	dapple-trace -model GNMT-16 -config A -m 8
 //	dapple-trace -model BERT-48 -config B -policies gpipe,pa,pb -out trace
+//	dapple-trace -model GNMT-16 -config B -strategy pipedream
 package main
 
 import (
@@ -14,10 +16,8 @@ import (
 	"os"
 	"strings"
 
-	"dapple/internal/hardware"
-	"dapple/internal/model"
-	"dapple/internal/planner"
-	"dapple/internal/schedule"
+	"dapple"
+	"dapple/internal/cliutil"
 	"dapple/internal/stats"
 	"dapple/internal/trace"
 )
@@ -25,50 +25,52 @@ import (
 func main() {
 	var (
 		modelName = flag.String("model", "GNMT-16", "zoo model name")
-		config    = flag.String("config", "A", "hardware config: A, B or C")
-		servers   = flag.Int("servers", 2, "server count")
+		config    = flag.String("config", "A", cliutil.ConfigHelp)
+		servers   = flag.Int("servers", 0, "server count (default: 2 for A, 16 for B/C)")
+		strategy  = flag.String("strategy", "dapple", "planning strategy")
 		m         = flag.Int("m", 0, "micro-batch count override")
 		policies  = flag.String("policies", "gpipe,pa", "comma-separated: gpipe, pa, pb")
 		width     = flag.Int("width", 110, "gantt width in columns")
+		timeout   = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 		out       = flag.String("out", "", "write <out>.<policy>.json Chrome traces")
 	)
 	flag.Parse()
 
-	mod := model.ByName(*modelName)
+	mod := dapple.ModelByName(*modelName)
 	if mod == nil {
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
 		os.Exit(1)
 	}
-	var c hardware.Cluster
-	switch strings.ToUpper(*config) {
-	case "A":
-		c = hardware.ConfigA(*servers)
-	case "B":
-		c = hardware.ConfigB(*servers)
-	case "C":
-		c = hardware.ConfigC(*servers)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+	c, err := cliutil.PickConfig(*config, *servers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	eng, err := dapple.NewEngine(
+		dapple.WithCluster(c),
+		dapple.WithStrategy(*strategy),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctx, cancel := cliutil.RootContext(*timeout)
+	defer cancel()
 
-	pr, err := planner.Plan(mod, c, planner.Options{})
+	pr, err := eng.Plan(ctx, mod)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("plan: %v\n\n", pr)
 
-	polMap := map[string]schedule.Policy{
-		"gpipe": schedule.GPipe, "pa": schedule.DapplePA, "pb": schedule.DapplePB,
-	}
 	for _, name := range strings.Split(*policies, ",") {
-		pol, ok := polMap[strings.TrimSpace(strings.ToLower(name))]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown policy %q\n", name)
+		pol, err := cliutil.ParsePolicy(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		res, err := schedule.Run(pr.Plan, schedule.Options{
+		res, err := eng.Simulate(ctx, pr.Plan, dapple.ScheduleOptions{
 			Policy: pol, M: *m, Recompute: pr.NeedsRecompute, MemLimit: -1,
 		})
 		if err != nil {

@@ -1,12 +1,16 @@
 // Command dapple plans and simulates hybrid data/pipeline-parallel training
-// for the benchmark models on the paper's cluster configurations.
+// for the benchmark models on the paper's cluster configurations. Planning
+// goes through the engine API, so any registered strategy — the DAPPLE
+// planner or one of the paper's baselines — runs through the same path.
 //
 // Usage:
 //
 //	dapple -model BERT-48 -config A -servers 2
+//	dapple -model GNMT-16 -config B -strategy pipedream
 //	dapple -model GNMT-16 -config C -servers 16 -gbs 2048 -policy pb
 //	dapple -model VGG-19 -config A -gantt -trace out.json
-//	dapple -models          # list zoo models
+//	dapple -models              # list zoo models
+//	dapple -strategies          # list registered strategies
 package main
 
 import (
@@ -14,54 +18,70 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"time"
 
+	"dapple"
+	"dapple/internal/cliutil"
 	"dapple/internal/core"
-	"dapple/internal/hardware"
-	"dapple/internal/model"
-	"dapple/internal/planner"
-	"dapple/internal/schedule"
 	"dapple/internal/stats"
 	"dapple/internal/trace"
 )
 
 func main() {
 	var (
-		modelName = flag.String("model", "BERT-48", "zoo model name (see -models)")
-		config    = flag.String("config", "A", "hardware config: A, B or C (Table III)")
-		servers   = flag.Int("servers", 0, "server count (default: 2 for A, 16 for B/C)")
-		gbs       = flag.Int("gbs", 0, "global batch size (default: model's)")
-		policy    = flag.String("policy", "", "schedule policy: pa, pb or gpipe (default: planner's recommendation)")
-		recompute = flag.Bool("recompute", false, "force activation re-computation")
-		gantt     = flag.Bool("gantt", false, "print the simulated timeline")
-		traceOut  = flag.String("trace", "", "write Chrome trace JSON to this file")
-		planOut   = flag.String("plan-out", "", "write the chosen plan as JSON to this file")
-		planIn    = flag.String("plan-in", "", "skip planning: load a plan JSON written by -plan-out")
-		listAll   = flag.Bool("models", false, "list zoo models and exit")
+		modelName  = flag.String("model", "BERT-48", "zoo model name (see -models)")
+		config     = flag.String("config", "A", cliutil.ConfigHelp)
+		servers    = flag.Int("servers", 0, "server count (default: 2 for A, 16 for B/C)")
+		gbs        = flag.Int("gbs", 0, "global batch size (default: model's)")
+		strategy   = flag.String("strategy", "dapple", "planning strategy (see -strategies)")
+		policy     = flag.String("policy", "", cliutil.PolicyHelp+" (default: strategy's recommendation)")
+		recompute  = flag.Bool("recompute", false, "force activation re-computation")
+		timeout    = flag.Duration("timeout", 0, "abort planning/simulation after this long (0 = no limit)")
+		gantt      = flag.Bool("gantt", false, "print the simulated timeline")
+		traceOut   = flag.String("trace", "", "write Chrome trace JSON to this file")
+		planOut    = flag.String("plan-out", "", "write the chosen plan as JSON to this file")
+		planIn     = flag.String("plan-in", "", "skip planning: load a plan JSON written by -plan-out")
+		listAll    = flag.Bool("models", false, "list zoo models and exit")
+		listStrats = flag.Bool("strategies", false, "list registered strategies and exit")
 	)
 	flag.Parse()
 
 	if *listAll {
-		for _, m := range model.Zoo() {
+		for _, m := range dapple.Zoo() {
 			fmt.Println(m)
 		}
 		return
 	}
+	if *listStrats {
+		for _, s := range dapple.Strategies() {
+			fmt.Printf("%-10s %s\n", s.Name(), s.Describe())
+		}
+		return
+	}
 
-	m := model.ByName(*modelName)
+	m := dapple.ModelByName(*modelName)
 	if m == nil {
 		fatalf("unknown model %q; use -models", *modelName)
 	}
-	c, err := pickConfig(*config, *servers)
+	c, err := cliutil.PickConfig(*config, *servers)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	eng, err := dapple.NewEngine(
+		dapple.WithCluster(c),
+		dapple.WithStrategy(*strategy),
+	)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ctx, cancel := cliutil.RootContext(*timeout)
+	defer cancel()
 
 	fmt.Printf("model:   %v\n", m)
 	fmt.Printf("cluster: %v\n", c)
 
-	var plan *core.Plan
-	pol := schedule.DapplePA
+	var plan *dapple.Plan
+	pol := dapple.DapplePA
 	needRC := false
 	if *planIn != "" {
 		data, err := os.ReadFile(*planIn)
@@ -74,12 +94,14 @@ func main() {
 		}
 		fmt.Printf("plan:    %v (loaded from %s)\n", plan, *planIn)
 	} else {
-		pr, err := planner.Plan(m, c, planner.Options{GBS: *gbs})
+		start := time.Now()
+		pr, err := eng.PlanWith(ctx, m, dapple.PlanOptions{GBS: *gbs})
 		if err != nil {
 			fatalf("planning failed: %v", err)
 		}
 		plan, pol, needRC = pr.Plan, pr.Policy, pr.NeedsRecompute
-		fmt.Printf("plan:    %v (policy %v)\n", pr, pr.Policy)
+		fmt.Printf("plan:    %v (strategy %s, policy %v, %.1fs)\n",
+			pr, pr.Strategy, pr.Policy, time.Since(start).Seconds())
 		if pr.NeedsRecompute {
 			fmt.Println("         (requires activation re-computation to fit memory)")
 		}
@@ -96,15 +118,12 @@ func main() {
 	}
 
 	if *policy != "" {
-		var ok bool
-		pol, ok = map[string]schedule.Policy{
-			"pa": schedule.DapplePA, "pb": schedule.DapplePB, "gpipe": schedule.GPipe,
-		}[strings.ToLower(*policy)]
-		if !ok {
-			fatalf("unknown policy %q (want pa, pb or gpipe)", *policy)
+		pol, err = cliutil.ParsePolicy(*policy)
+		if err != nil {
+			fatalf("%v", err)
 		}
 	}
-	res, err := schedule.Run(plan, schedule.Options{
+	res, err := eng.Simulate(ctx, plan, dapple.ScheduleOptions{
 		Policy:    pol,
 		Recompute: *recompute || needRC,
 	})
@@ -138,27 +157,6 @@ func main() {
 		}
 		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
 	}
-}
-
-func pickConfig(name string, servers int) (hardware.Cluster, error) {
-	switch strings.ToUpper(name) {
-	case "A":
-		if servers == 0 {
-			servers = 2
-		}
-		return hardware.ConfigA(servers), nil
-	case "B":
-		if servers == 0 {
-			servers = 16
-		}
-		return hardware.ConfigB(servers), nil
-	case "C":
-		if servers == 0 {
-			servers = 16
-		}
-		return hardware.ConfigC(servers), nil
-	}
-	return hardware.Cluster{}, fmt.Errorf("unknown config %q (want A, B or C)", name)
 }
 
 func fatalf(format string, args ...any) {

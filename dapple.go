@@ -4,15 +4,36 @@
 // strategy for a cluster, and simulate or really execute the planned
 // schedule.
 //
-// The three components mirror the paper's Fig. 1 workflow:
+// # Engine and strategies
 //
-//   - the Profiler (ProfileArch) turns an architecture into per-layer
-//     statistics;
-//   - the Planner (PlanModel) searches stage partitions, replication and
-//     topology-aware placement for the minimum synchronous pipeline latency;
-//   - the Runtime (Simulate) executes GPipe or DAPPLE early-backward
-//     schedules with byte-accurate memory accounting on a discrete-event
-//     cluster simulator.
+// The Engine is the context-aware front door. It binds a cluster to one
+// planning Strategy — the DAPPLE planner or any of the paper's baselines
+// (pure data parallelism, GPipe, PipeDream, the straight pipeline), all
+// implementing the same interface and returning the same PlanResult shape —
+// and caches plans by (model, cluster, batch geometry, strategy) so repeated
+// planning traffic runs each search once:
+//
+//	eng, err := dapple.NewEngine(
+//		dapple.WithCluster(dapple.ConfigA(2)),
+//		dapple.WithStrategy("dapple"), // or "dp", "gpipe", "pipedream", "straight"
+//	)
+//	pr, err := eng.Plan(ctx, dapple.ModelByName("BERT-48"))
+//	res, err := eng.SimulatePlan(ctx, pr)
+//
+// Plan and Simulate thread their context through the planner's
+// dynamic-program search and the discrete-event scheduler, so long searches
+// are cancellable and deadline-bounded. Strategies register by name
+// (Strategies lists them, RegisterStrategy adds custom ones); every
+// strategy's result carries the plan, its simulated latency and speedup, a
+// recommended runtime policy, and whether activation re-computation is
+// needed, so alternatives compare apples-to-apples.
+//
+// The components mirror the paper's Fig. 1 workflow: the Profiler
+// (ProfileArch) turns an architecture into per-layer statistics; a Strategy
+// searches stage partitions, replication and topology-aware placement; the
+// Runtime (Engine.Simulate) executes GPipe or DAPPLE early-backward
+// schedules with byte-accurate memory accounting on a discrete-event cluster
+// simulator.
 //
 // A real concurrent mini-runtime (goroutines as devices, channels as links)
 // lives in internal/train and backs the gradient-equivalence guarantees; see
@@ -20,6 +41,8 @@
 package dapple
 
 import (
+	"context"
+
 	"dapple/internal/core"
 	"dapple/internal/hardware"
 	"dapple/internal/model"
@@ -45,10 +68,13 @@ type (
 	Plan = core.Plan
 	// Stage is one pipeline stage of a Plan.
 	Stage = core.Stage
-	// PlanResult is the planner's output.
+	// PlanResult is a strategy's output: the chosen plan plus its simulated
+	// latency, speedup, recommended policy and re-computation need.
 	PlanResult = planner.Result
-	// PlanOptions tunes the planner search.
+	// PlanOptions tunes a strategy's plan search.
 	PlanOptions = planner.Options
+	// SchedulePolicy selects the micro-batch scheduling discipline.
+	SchedulePolicy = schedule.Policy
 	// ScheduleOptions configures a simulated training iteration.
 	ScheduleOptions = schedule.Options
 	// ScheduleResult reports a simulated training iteration.
@@ -98,13 +124,20 @@ func ProfileArch(a Arch, batch int) (*Model, error) {
 // PlanModel searches for the latency-optimal hybrid plan of m on c (the
 // DAPPLE Planner). A zero Options value uses the model's default global
 // batch size.
+//
+// Deprecated: construct an Engine and call [Engine.Plan]; it accepts a
+// context, supports every registered strategy, and caches results. PlanModel
+// remains as a thin uncached wrapper over the "dapple" strategy.
 func PlanModel(m *Model, c Cluster, opts PlanOptions) (*PlanResult, error) {
-	return planner.Plan(m, c, opts)
+	return planner.PlanContext(context.Background(), m, c, opts)
 }
 
 // Simulate executes one training iteration of the plan on the discrete-event
 // runtime and reports iteration time, throughput, per-device peak memory and
 // OOM conditions.
+//
+// Deprecated: use [Engine.Simulate] (or [Engine.SimulatePlan]), which
+// accepts a context so long simulations are cancellable.
 func Simulate(p *Plan, opts ScheduleOptions) (*ScheduleResult, error) {
 	return schedule.Run(p, opts)
 }

@@ -3,23 +3,38 @@
 // micro-batch counts and watch activation memory — GPipe's residency grows
 // O(M) until it overflows the 16 GB device, DAPPLE's stays flat at its
 // warmup depth, and re-computation trades ~20% backward time for the rest.
+// The pipeline comes from the registered "gpipe" strategy (even block
+// partition, one stage per device) via the Engine API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"dapple"
-	"dapple/internal/baselines"
 )
 
 func main() {
+	ctx := context.Background()
 	m := dapple.ModelByName("BERT-48")
-	cluster := dapple.ConfigB(2) // two single-V100 servers, 25 Gbps
 
-	// A 2-stage straight pipeline, evenly split like torchgpipe would.
-	basePlan := baselines.GPipePlan(m, cluster, 32, 2)
-	fmt.Printf("pipeline: %v on %v\n\n", basePlan, cluster)
+	// Two single-V100 servers, 25 Gbps: the gpipe strategy splits the model
+	// into a 2-stage straight pipeline, exactly like torchgpipe would.
+	eng, err := dapple.NewEngine(
+		dapple.WithCluster(dapple.ConfigB(2)),
+		dapple.WithStrategy("gpipe"),
+		dapple.WithPlanOptions(dapple.PlanOptions{GBS: 32, SkipMemCheck: true}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := eng.Plan(ctx, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	basePlan := pr.Plan
+	fmt.Printf("pipeline: %v on %v\n\n", basePlan, eng.Cluster())
 
 	type variant struct {
 		name   string
@@ -37,7 +52,7 @@ func main() {
 		for _, M := range []int{2, 8, 16, 32} {
 			opts := v.policy
 			opts.M = M
-			res, err := dapple.Simulate(basePlan, opts)
+			res, err := eng.Simulate(ctx, basePlan, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -55,7 +70,7 @@ func main() {
 		opts := v.policy
 		opts.M = 8
 		opts.MemLimit = -1
-		res, err := dapple.Simulate(basePlan, opts)
+		res, err := eng.Simulate(ctx, basePlan, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,19 +1,24 @@
 // Planner sweep (the Fig. 12 scenario): for a translation workload (GNMT-16)
-// and a language-model workload (BERT-48), compare data parallelism against
-// the planner's best hybrid strategy across the paper's three interconnect
-// environments and a range of global batch sizes. Slow interconnects and
-// small batches are where hybrid pipeline/data parallelism pays off.
+// and a language-model workload (BERT-48), compare pure data parallelism
+// against the DAPPLE planner's best hybrid strategy across the paper's three
+// interconnect environments and a range of global batch sizes. Both sides run
+// through the same Engine API — one engine per (cluster, strategy) pair — so
+// the comparison is apples-to-apples: same Result shape, same simulator.
+// Slow interconnects and small batches are where hybrid pipeline/data
+// parallelism pays off.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"dapple"
-	"dapple/internal/baselines"
 )
 
 func main() {
+	ctx := context.Background()
+
 	type workload struct {
 		model *dapple.Model
 		gbs   []int
@@ -30,17 +35,33 @@ func main() {
 		{"B (16x1, 25Gbps)", dapple.ConfigB(16)},
 		{"C (16x1, 10Gbps)", dapple.ConfigC(16)},
 	}
+	searchOpts := dapple.PlanOptions{PruneSlack: 1.3, Finalists: 10}
 
 	for _, w := range workloads {
 		fmt.Printf("=== %v ===\n", w.model)
 		for _, cfg := range configs {
+			engines := map[string]*dapple.Engine{}
+			for _, strat := range []string{"dp", "dapple"} {
+				eng, err := dapple.NewEngine(
+					dapple.WithCluster(cfg.cluster),
+					dapple.WithStrategy(strat),
+					dapple.WithPlanOptions(searchOpts),
+				)
+				if err != nil {
+					log.Fatal(err)
+				}
+				engines[strat] = eng
+			}
 			fmt.Printf("\n%s:\n", cfg.name)
-			fmt.Printf("  %6s  %10s  %10s  %-28s %s\n", "GBS", "DP+overlap", "hybrid", "plan", "advantage")
+			fmt.Printf("  %6s  %10s  %10s  %-28s %s\n", "GBS", "DP", "hybrid", "plan", "advantage")
 			for _, gbs := range w.gbs {
-				dp := baselines.DPOverlap(w.model, cfg.cluster, gbs)
-				pr, err := dapple.PlanModel(w.model, cfg.cluster, dapple.PlanOptions{
-					GBS: gbs, PruneSlack: 1.3, Finalists: 10,
-				})
+				opts := searchOpts
+				opts.GBS = gbs
+				dp, err := engines["dp"].PlanWith(ctx, w.model, opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				pr, err := engines["dapple"].PlanWith(ctx, w.model, opts)
 				if err != nil {
 					log.Fatal(err)
 				}

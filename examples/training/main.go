@@ -6,7 +6,10 @@
 //
 // This is the executable form of the paper's convergence argument: "all
 // pipeline latency optimizations give equivalent gradients ... convergence
-// is safely preserved" (§VI-A).
+// is safely preserved" (§VI-A). It exercises the concurrent mini-runtime in
+// internal/train directly; planning and simulation of the same schedules
+// through the public surface live in the other examples (see
+// examples/quickstart for the Engine API).
 package main
 
 import (

@@ -1,0 +1,3 @@
+module dapple
+
+go 1.24

@@ -4,6 +4,7 @@ package dapple
 // scheduler and the real goroutine runtime must tell one consistent story.
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -128,6 +129,48 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 	// Rebinding against the wrong model must fail.
 	if _, err := core.UnmarshalPlan(data, model.BERT48(), c); err == nil {
 		t.Fatal("expected model mismatch error")
+	}
+}
+
+// TestPlanJSONRoundTripSimulatesIdentically: a plan written by -plan-out and
+// reloaded via core.UnmarshalPlan must simulate to the exact same iteration
+// time — the serialized form carries everything the scheduler consumes (and
+// everything the Engine's cache key must distinguish).
+func TestPlanJSONRoundTripSimulatesIdentically(t *testing.T) {
+	ctx := context.Background()
+	m := model.ByName("GNMT-16")
+	c := hardware.ConfigB(4)
+	eng, err := NewEngine(WithCluster(c), WithPlanOptions(PlanOptions{PruneSlack: 1.2, Finalists: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := eng.Plan(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(pr.Plan, "", "  ") // as cmd/dapple -plan-out writes it
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.UnmarshalPlan(data, m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ScheduleOptions{Policy: pr.Policy, Recompute: pr.NeedsRecompute}
+	orig, err := eng.Simulate(ctx, pr.Plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := eng.Simulate(ctx, back, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.IterTime != reloaded.IterTime {
+		t.Fatalf("round trip changed the simulated iteration time: %.9f vs %.9f",
+			orig.IterTime, reloaded.IterTime)
+	}
+	if orig.MaxPeakMem != reloaded.MaxPeakMem {
+		t.Fatalf("round trip changed peak memory: %d vs %d", orig.MaxPeakMem, reloaded.MaxPeakMem)
 	}
 }
 

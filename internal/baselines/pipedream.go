@@ -26,6 +26,11 @@ func PipeDream(m *model.Model, c hardware.Cluster, gbs int) *core.Plan {
 	mb := core.ChooseMicroBatch(m, gbs)
 	var stages []core.Stage
 	if c.Servers > 1 && c.GPUsPerServer > 1 {
+		if m.NumLayers() < c.Servers {
+			// The hierarchical recursion needs at least one layer per
+			// machine; shallower models have no PipeDream-shaped plan.
+			return nil
+		}
 		// Level 1: balanced contiguous chunk per machine.
 		cuts := BalancedCuts(m, c.Servers)
 		lo := 0

@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/schedule"
+	"dapple/internal/strategy"
+)
+
+// The baseline planners of the paper's evaluation, exposed through the same
+// Strategy interface as the DAPPLE planner so the engine can run any of them
+// interchangeably. Each builds its single characteristic plan and scores it
+// on the discrete-event simulator via strategy.Evaluate, producing the same
+// Result shape the planner emits.
+
+// DPPlan builds the pure data-parallel plan: one stage holding the whole
+// model, replicated on every device (the Fig. 12 baseline as a Plan).
+func DPPlan(m *model.Model, c hardware.Cluster, gbs int) *core.Plan {
+	p := &core.Plan{
+		Model: m, Cluster: c, GBS: gbs,
+		Stages: []core.Stage{{Lo: 0, Hi: m.NumLayers(), Devices: c.Devices()}},
+	}
+	p.MicroBatch = core.ChooseMicroBatch(m, gbs)
+	return p
+}
+
+// planFunc builds one baseline plan, or nil when the shape is infeasible
+// (e.g. fewer layers than pipeline stages).
+type planFunc func(m *model.Model, c hardware.Cluster, gbs int) *core.Plan
+
+// baselineStrategy adapts a fixed-plan constructor to the Strategy interface.
+type baselineStrategy struct {
+	name     string
+	describe string
+	build    planFunc
+	// policy picks the schedule the plan is scored (and meant to run) under.
+	policy func(p *core.Plan) schedule.Policy
+}
+
+func (b baselineStrategy) Name() string     { return b.name }
+func (b baselineStrategy) Describe() string { return b.describe }
+
+func (b baselineStrategy) Plan(ctx context.Context, m *model.Model, c hardware.Cluster, opts strategy.Options) (*strategy.Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts = opts.Normalize(m.DefaultGBS)
+	p := b.build(m, c, opts.GBS)
+	if p == nil {
+		return nil, fmt.Errorf("strategy %s: no feasible plan for %s on %s (gbs %d)",
+			b.name, m.Name, c.Name, opts.GBS)
+	}
+	return strategy.Evaluate(ctx, b.name, p, b.policy(p), opts)
+}
+
+func init() {
+	strategy.MustRegister(baselineStrategy{
+		name:     "dp",
+		describe: "pure data parallelism: the whole model replicated on every device, synchronous all-reduce (Fig. 12 baseline)",
+		build:    DPPlan,
+		policy:   func(*core.Plan) schedule.Policy { return schedule.DapplePA },
+	})
+	strategy.MustRegister(baselineStrategy{
+		name:     "gpipe",
+		describe: "GPipe/torchgpipe: even block partition, one stage per device, flood-then-drain schedule",
+		build: func(m *model.Model, c hardware.Cluster, gbs int) *core.Plan {
+			g := c.NumDevices()
+			if m.NumLayers() < g {
+				return nil
+			}
+			return GPipePlan(m, c, gbs, g)
+		},
+		policy: func(*core.Plan) schedule.Policy { return schedule.GPipe },
+	})
+	strategy.MustRegister(baselineStrategy{
+		name:     "pipedream",
+		describe: "PipeDream planner (hierarchical balanced partition + replication) re-evaluated under synchronous training (Table VII)",
+		build:    PipeDream,
+		policy:   strategy.RecommendPolicy,
+	})
+	strategy.MustRegister(baselineStrategy{
+		name:     "straight",
+		describe: "straight pipeline: balanced layer partition, one unreplicated stage per device (Fig. 14(a))",
+		build:    StraightPipeline,
+		policy:   strategy.RecommendPolicy,
+	})
+}

@@ -1,0 +1,81 @@
+// Package cliutil holds the option-parsing helpers shared by the dapple
+// command-line tools: cluster-config and schedule-policy parsing used to be
+// re-implemented (with drifting defaults) in every command.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"dapple/internal/hardware"
+	"dapple/internal/schedule"
+)
+
+// PickConfig resolves a Table III hardware config name (A, B or C, case
+// insensitive) and a server count into a cluster. servers == 0 picks the
+// paper's default scale for that config: 2 hierarchical servers for A, 16
+// flat servers for B and C.
+func PickConfig(name string, servers int) (hardware.Cluster, error) {
+	switch strings.ToUpper(name) {
+	case "A":
+		if servers == 0 {
+			servers = 2
+		}
+		return hardware.ConfigA(servers), nil
+	case "B":
+		if servers == 0 {
+			servers = 16
+		}
+		return hardware.ConfigB(servers), nil
+	case "C":
+		if servers == 0 {
+			servers = 16
+		}
+		return hardware.ConfigC(servers), nil
+	}
+	return hardware.Cluster{}, fmt.Errorf("unknown config %q (want A, B or C)", name)
+}
+
+// ConfigHelp is the -config flag usage string.
+const ConfigHelp = "hardware config: A, B or C (Table III)"
+
+// ParsePolicy resolves a schedule-policy flag value (pa, pb or gpipe, case
+// insensitive).
+func ParsePolicy(name string) (schedule.Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "pa":
+		return schedule.DapplePA, nil
+	case "pb":
+		return schedule.DapplePB, nil
+	case "gpipe":
+		return schedule.GPipe, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want pa, pb or gpipe)", name)
+}
+
+// PolicyHelp is the -policy flag usage string.
+const PolicyHelp = "schedule policy: pa, pb or gpipe"
+
+// RootContext returns the context commands should thread into planning and
+// simulation: cancelled on interrupt (ctrl-C), deadline-bounded when timeout
+// is positive. The signal capture is released as soon as the context fires,
+// so a second ctrl-C terminates the process immediately even while
+// non-cancellable work drains to its next checkpoint.
+func RootContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	cancel := stop
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		cancel = func() { tcancel(); stop() }
+	}
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, cancel
+}

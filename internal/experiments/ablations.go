@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dapple/internal/core"
@@ -19,14 +20,20 @@ import (
 // AblationPlacement compares the planner's three-policy placement space
 // against a Fresh-First-only baseline (PipeDream-style hierarchical
 // allocation) on the hierarchical topology.
-func AblationPlacement(opts Options) *Report {
+func AblationPlacement(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "ablation-placement", Title: "Placement policies: all three vs Fresh-First-only",
 		Header: []string{"Model", "Plan (all policies)", "Latency", "Plan (manual 8:8 fresh)", "Latency", "gain"}}
 	c := hardware.ConfigA(2)
 	for _, name := range []string{"ResNet-50", "GNMT-16"} {
+		if truncated(ctx, r) {
+			return r
+		}
 		m := model.ByName(name)
-		pr, err := planner.Plan(m, c, plannerOpts(opts, 0))
+		pr, err := planner.PlanContext(ctx, m, c, plannerOpts(opts, 0))
 		if err != nil {
+			if truncated(ctx, r) {
+				return r
+			}
 			r.Addf("%s: %v", name, err)
 			continue
 		}
@@ -60,7 +67,7 @@ func bestBalancedCut(m *model.Model) int {
 
 // AblationRerank quantifies the simulator re-ranking: the latency of the
 // plan the analytic objective alone would pick versus the re-ranked winner.
-func AblationRerank(opts Options) *Report {
+func AblationRerank(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "ablation-rerank", Title: "Simulator re-ranking vs analytic-only selection",
 		Header: []string{"Model", "Config", "analytic-only pick", "re-ranked pick", "sim latency gain"}}
 	cases := []struct {
@@ -70,17 +77,26 @@ func AblationRerank(opts Options) *Report {
 		{model.GNMT16(), "A"}, {model.VGG19(), "C"}, {model.BERT48(), "B"},
 	}
 	for _, tc := range cases {
+		if truncated(ctx, r) {
+			return r
+		}
 		c := hardware.StandardConfigs()[tc.k]
-		full, err := planner.Plan(tc.m, c, plannerOpts(opts, 0))
+		full, err := planner.PlanContext(ctx, tc.m, c, plannerOpts(opts, 0))
 		if err != nil {
+			if truncated(ctx, r) {
+				return r
+			}
 			r.Addf("%s/%s: %v", tc.m.Name, tc.k, err)
 			continue
 		}
 		// Analytic-only: keep just one finalist, so the analytic argmin wins.
 		po := plannerOpts(opts, 0)
 		po.Finalists = 1
-		analytic, err := planner.Plan(tc.m, c, po)
+		analytic, err := planner.PlanContext(ctx, tc.m, c, po)
 		if err != nil {
+			if truncated(ctx, r) {
+				return r
+			}
 			r.Addf("%s/%s: %v", tc.m.Name, tc.k, err)
 			continue
 		}
@@ -93,7 +109,7 @@ func AblationRerank(opts Options) *Report {
 
 // AblationStages sweeps the planner's maximum stage count, quantifying the
 // paper's "as few stages as possible" insight under fixed resources.
-func AblationStages(opts Options) *Report {
+func AblationStages(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "ablation-stages", Title: "Effect of the stage-count budget (BERT-48, config B)",
 		Header: []string{"MaxStages", "Chosen plan", "Sim latency", "vs best"}}
 	m := model.BERT48()
@@ -106,10 +122,16 @@ func AblationStages(opts Options) *Report {
 	var rows []row
 	best := 0.0
 	for _, s := range []int{2, 3, 4, 6} {
+		if truncated(ctx, r) {
+			return r
+		}
 		po := plannerOpts(opts, 0)
 		po.MaxStages = s
-		pr, err := planner.Plan(m, c, po)
+		pr, err := planner.PlanContext(ctx, m, c, po)
 		if err != nil {
+			if truncated(ctx, r) {
+				return r
+			}
 			r.Addf("maxStages=%d: %v", s, err)
 			continue
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -45,28 +46,28 @@ func TestReportRendering(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	r := Table1(quickOpts)
+	r := Table1(context.Background(), quickOpts)
 	if len(r.Rows) != 5 {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
 }
 
 func TestTable2(t *testing.T) {
-	r := Table2(quickOpts)
+	r := Table2(context.Background(), quickOpts)
 	if len(r.Rows) != 6 {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
 }
 
 func TestTable3(t *testing.T) {
-	r := Table3(quickOpts)
+	r := Table3(context.Background(), quickOpts)
 	if len(r.Rows) != 3 {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
 }
 
 func TestTable6Shape(t *testing.T) {
-	r := Table6(quickOpts)
+	r := Table6(context.Background(), quickOpts)
 	if len(r.Rows) != 14 {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
@@ -101,7 +102,7 @@ func TestTable6Shape(t *testing.T) {
 }
 
 func TestTable8LinearScaling(t *testing.T) {
-	r := Table8(quickOpts)
+	r := Table8(context.Background(), quickOpts)
 	if len(r.Rows) != 4 {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
@@ -122,7 +123,7 @@ func TestTable8LinearScaling(t *testing.T) {
 }
 
 func TestFig3HasBothSchedules(t *testing.T) {
-	r := Fig3(quickOpts)
+	r := Fig3(context.Background(), quickOpts)
 	if len(r.Sections) != 2 {
 		t.Fatalf("%d sections", len(r.Sections))
 	}
@@ -132,7 +133,7 @@ func TestFig3HasBothSchedules(t *testing.T) {
 }
 
 func TestFig7UnevenWins(t *testing.T) {
-	r := Fig7(quickOpts)
+	r := Fig7(context.Background(), quickOpts)
 	if len(r.Rows) != 7 {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
@@ -149,7 +150,7 @@ func TestFig7UnevenWins(t *testing.T) {
 }
 
 func TestFig8SplitWins(t *testing.T) {
-	r := Fig8(quickOpts)
+	r := Fig8(context.Background(), quickOpts)
 	if len(r.Rows) != 2 {
 		t.Fatalf("%d rows", len(r.Rows))
 	}

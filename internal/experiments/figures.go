@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dapple/internal/baselines"
@@ -18,7 +19,7 @@ import (
 // pipeline with 7 micro-batches under GPipe and DAPPLE, as Gantt charts plus
 // the stage-0 memory-over-time curves — showing DAPPLE's early backward
 // freeing activations while GPipe accumulates all of them.
-func Fig3(Options) *Report {
+func Fig3(ctx context.Context, _ Options) *Report {
 	r := &Report{ID: "fig3", Title: "GPipe vs DAPPLE schedule and memory (3 stages, M=7)"}
 	m := model.Synthetic(6, 10e-3, 16<<20, 64<<20, 8<<20)
 	c := hardware.ConfigB(3)
@@ -28,6 +29,9 @@ func Fig3(Options) *Report {
 		name   string
 		policy schedule.Policy
 	}{{"GPipe", schedule.GPipe}, {"DAPPLE", schedule.DapplePA}} {
+		if truncated(ctx, r) {
+			return r
+		}
 		res := schedule.MustRun(plan, schedule.Options{Policy: v.policy, M: 7, MemLimit: -1})
 		sec := fmt.Sprintf("%s (iteration %.1fms, stage0 peak %s):\n%s",
 			v.name, res.IterTime*1e3, stats.Bytes(res.PerStage[0].PeakMem),
@@ -46,13 +50,15 @@ func Fig3(Options) *Report {
 // Fig4 regenerates the phase anatomy of Fig. 4: warmup, steady and ending
 // phases of a replicated synchronous pipeline with communication stages and
 // the trailing all-reduce.
-func Fig4(opts Options) *Report {
+func Fig4(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "fig4", Title: "Pipeline phases (warmup/steady/ending)"}
 	m := model.GNMT16()
 	c := hardware.ConfigA(2)
-	pr, err := planner.Plan(m, c, plannerOpts(opts, 0))
+	pr, err := planner.PlanContext(ctx, m, c, plannerOpts(opts, 0))
 	if err != nil {
-		r.Addf("planning failed: %v", err)
+		if !truncated(ctx, r) {
+			r.Addf("planning failed: %v", err)
+		}
 		return r
 	}
 	units := pr.Plan.Units()
@@ -79,7 +85,7 @@ func Fig4(opts Options) *Report {
 // compute-even 4:4 split pays for a fat boundary; shifting the cut one or two
 // layers deeper trades mild compute imbalance for much cheaper communication
 // and wins clearly.
-func Fig7(Options) *Report {
+func Fig7(ctx context.Context, _ Options) *Report {
 	r := &Report{ID: "fig7", Title: "Uneven vs even partitioning (2 GPUs, M=2)",
 		Header: []string{"Split", "IterTime(ms)", "vs even"}}
 	m := model.Synthetic(8, 8e-3, 0, 32<<20, 4<<20)
@@ -91,6 +97,9 @@ func Fig7(Options) *Report {
 
 	times := make([]float64, 0, 7)
 	for cut := 1; cut < 8; cut++ {
+		if truncated(ctx, r) {
+			return r
+		}
 		p := &core.Plan{
 			Model: m, Cluster: c, GBS: gbs, MicroBatch: 1,
 			Stages: []core.Stage{
@@ -117,9 +126,12 @@ func Fig7(Options) *Report {
 // each micro-batch across stage replicas (DAPPLE) versus round-robining whole
 // micro-batches (PipeDream), on a 2-stage pipeline whose first stage costs 2x
 // the second and is replicated on two of three GPUs.
-func Fig8(Options) *Report {
+func Fig8(ctx context.Context, _ Options) *Report {
 	r := &Report{ID: "fig8", Title: "Replication: split micro-batch vs round-robin (3 GPUs)",
 		Header: []string{"Approach", "IterTime(ms)", "Stage1 idle"}}
+	if truncated(ctx, r) {
+		return r
+	}
 	const (
 		f0, f1 = 20e-3, 10e-3 // stage forward times; backward 2x
 		m      = 6
@@ -186,7 +198,7 @@ var fig12Sweeps = map[string][]int{
 // Fig12 regenerates the speedup curves of Fig. 12: DP without overlap, DP
 // with overlap, and the best hybrid plan, per model, config and global batch
 // size.
-func Fig12(opts Options) *Report {
+func Fig12(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "fig12", Title: "Training speedup (vs 1 GPU) across configs and batch sizes",
 		Header: []string{"Model", "Config", "GBS", "DP no-ovl", "DP ovl", "Hybrid", "Hybrid/bestDP"}}
 	models := []string{"VGG-19", "GNMT-16", "BERT-48", "XLNet-36", "AmoebaNet-36"}
@@ -201,6 +213,9 @@ func Fig12(opts Options) *Report {
 		for _, k := range []string{"A", "B", "C"} {
 			c := hardware.StandardConfigs()[k]
 			for _, gbs := range sweep {
+				if truncated(ctx, r) {
+					return r
+				}
 				dpN := baselines.DPNoOverlap(m, c, gbs)
 				dpO := baselines.DPOverlap(m, c, gbs)
 				dpCell := func(d baselines.DPResult) string {
@@ -209,8 +224,11 @@ func Fig12(opts Options) *Report {
 					}
 					return fmt.Sprintf("%.2f", d.Speedup)
 				}
-				pr, err := planner.Plan(m, c, plannerOpts(opts, gbs))
+				pr, err := planner.PlanContext(ctx, m, c, plannerOpts(opts, gbs))
 				if err != nil {
+					if truncated(ctx, r) {
+						return r
+					}
 					r.Add(name, k, fmt.Sprint(gbs), dpCell(dpN), dpCell(dpO), "infeasible", "-")
 					continue
 				}
@@ -242,7 +260,7 @@ func Fig12(opts Options) *Report {
 // Fig13 regenerates the planner comparison of Fig. 13: speedups of DAPPLE's
 // plan versus PipeDream's plan, both executed by the DAPPLE runtime, on 2x8
 // and 4x8 config-A clusters.
-func Fig13(opts Options) *Report {
+func Fig13(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "fig13", Title: "DAPPLE planner vs PipeDream planner (DAPPLE runtime)",
 		Header: []string{"Model", "Cluster", "DAPPLE speedup", "w/ PipeDream plan", "advantage"}}
 	cases := []struct {
@@ -262,8 +280,14 @@ func Fig13(opts Options) *Report {
 	for _, servers := range sizes {
 		c := hardware.ConfigA(servers)
 		for _, tc := range cases {
-			pr, err := planner.Plan(tc.m, c, plannerOpts(opts, tc.gbs))
+			if truncated(ctx, r) {
+				return r
+			}
+			pr, err := planner.PlanContext(ctx, tc.m, c, plannerOpts(opts, tc.gbs))
 			if err != nil {
+				if truncated(ctx, r) {
+					return r
+				}
 				r.Add(tc.m.Name, fmt.Sprintf("%dx8", servers), "infeasible", "-", "-")
 				continue
 			}
@@ -289,7 +313,7 @@ func Fig13(opts Options) *Report {
 // Fig14 regenerates the strong-scaling study of Fig. 14 on config A: fixed
 // global batch, 2..16 GPUs, comparing DP variants against the best hybrid
 // (plus the straight pipeline for GNMT).
-func Fig14(opts Options) *Report {
+func Fig14(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "fig14", Title: "Strong scaling, fixed GBS, config A",
 		Header: []string{"Model", "GPUs", "DP no-ovl", "DP ovl", "Hybrid", "Straight"}}
 	cases := []struct {
@@ -307,6 +331,9 @@ func Fig14(opts Options) *Report {
 	}
 	for _, tc := range cases {
 		for _, n := range gpuCounts {
+			if truncated(ctx, r) {
+				return r
+			}
 			c := scaledConfigA(n)
 			dpN := baselines.DPNoOverlap(tc.m, c, tc.gbs)
 			dpO := baselines.DPOverlap(tc.m, c, tc.gbs)
@@ -317,8 +344,10 @@ func Fig14(opts Options) *Report {
 				return fmt.Sprintf("%.2f", d.Speedup)
 			}
 			hybrid := "infeasible"
-			if pr, err := planner.Plan(tc.m, c, plannerOpts(opts, tc.gbs)); err == nil {
+			if pr, err := planner.PlanContext(ctx, tc.m, c, plannerOpts(opts, tc.gbs)); err == nil {
 				hybrid = fmt.Sprintf("%.2f", pr.Speedup)
+			} else if truncated(ctx, r) {
+				return r
 			}
 			straight := "-"
 			if tc.m.Name == "GNMT-16" && tc.m.NumLayers() >= n {

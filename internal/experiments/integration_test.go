@@ -5,6 +5,7 @@ package experiments
 // They are skipped under -short.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func TestTable5Shapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("planner sweep")
 	}
-	r := Table5(Options{Quick: true})
+	r := Table5(context.Background(), Options{Quick: true})
 	if len(r.Rows) != 18 {
 		t.Fatalf("%d rows, want 18", len(r.Rows))
 	}
@@ -48,7 +49,7 @@ func TestTable4PolicyOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("planner sweep")
 	}
-	r := Table4(Options{Quick: true})
+	r := Table4(context.Background(), Options{Quick: true})
 	ratios := map[string]float64{}
 	for _, row := range r.Rows {
 		v, err := strconv.ParseFloat(row[4], 64)
@@ -73,7 +74,7 @@ func TestFig12Trends(t *testing.T) {
 	if testing.Short() {
 		t.Skip("planner sweep")
 	}
-	r := Fig12(Options{Quick: true})
+	r := Fig12(context.Background(), Options{Quick: true})
 	// Collect per-config hybrid/bestDP ratios.
 	perCfg := map[string][]float64{}
 	for _, row := range r.Rows {
@@ -108,7 +109,7 @@ func TestFig13PlannerAlwaysWins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("planner sweep")
 	}
-	r := Fig13(Options{Quick: true})
+	r := Fig13(context.Background(), Options{Quick: true})
 	for _, row := range r.Rows {
 		if len(row) < 5 || !strings.HasSuffix(row[4], "x") {
 			continue
@@ -127,7 +128,7 @@ func TestFig14HybridScalesPastServerBoundary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("planner sweep")
 	}
-	r := Fig14(Options{Quick: true})
+	r := Fig14(context.Background(), Options{Quick: true})
 	// In quick mode rows are at 8 and 16 GPUs. Hybrid speedup must grow
 	// when doubling devices across the server boundary.
 	hybrid := map[string]map[string]float64{}
@@ -160,7 +161,7 @@ func TestAblations(t *testing.T) {
 		if g == nil {
 			t.Fatalf("missing %s", id)
 		}
-		rep := g.Run(Options{Quick: true})
+		rep := g.Run(context.Background(), Options{Quick: true})
 		if len(rep.Rows) == 0 {
 			t.Errorf("%s produced no rows", id)
 		}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -89,11 +90,45 @@ type Options struct {
 	Quick bool
 }
 
-// Generator produces one report.
+// Generator produces one report. Run threads its context into every planner
+// search and checks it between sweep points, so a full sweep (~30 s) is
+// cancellable and deadline-bounded; a cancelled run returns a report marked
+// TRUNCATED rather than one mislabeling unexplored points.
 type Generator struct {
 	ID   string
 	Name string
-	Run  func(Options) *Report
+	Run  func(context.Context, Options) *Report
+}
+
+// truncated reports context expiry, stamping the report with a TRUNCATED
+// note the first time it fires. Generators call it at sweep boundaries and
+// on planner errors so cancellation cuts the report short instead of
+// recording unexplored configurations as infeasible.
+func truncated(ctx context.Context, r *Report) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	note := truncatedPrefix + ctx.Err().Error()
+	for _, n := range r.Notes {
+		if n == note {
+			return true
+		}
+	}
+	r.Addf("%s", note)
+	return true
+}
+
+const truncatedPrefix = "TRUNCATED: "
+
+// Truncated reports whether the run was cut short by context expiry — the
+// report is incomplete and should not be consumed as full regenerated data.
+func (r *Report) Truncated() bool {
+	for _, n := range r.Notes {
+		if strings.HasPrefix(n, truncatedPrefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // All returns every table and figure generator in paper order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dapple/internal/baselines"
@@ -31,14 +32,20 @@ var table1Paper = []struct {
 // asymmetry motivating hybrid parallelism on hierarchical interconnects. The
 // boundary is the cheapest stage cut the planner selects (for VGG-19 that is
 // the conv/fc boundary, far from the compute-balanced split).
-func Table1(opts Options) *Report {
+func Table1(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "table1", Title: "Traffic volume (boundary activations vs gradients)",
 		Header: []string{"Benchmark", "Activation@boundary", "paper", "Gradients", "paper"}}
 	for _, row := range table1Paper {
+		if truncated(ctx, r) {
+			return r
+		}
 		m := model.ByName(row.name)
 		cut := baselines.BalancedCuts(m, 2)[0]
-		if pr, err := planner.Plan(m, hardware.ConfigC(16), plannerOpts(opts, 0)); err == nil &&
-			pr.Plan.NumStages() > 1 {
+		pr, err := planner.PlanContext(ctx, m, hardware.ConfigC(16), plannerOpts(opts, 0))
+		if err != nil && truncated(ctx, r) {
+			return r
+		}
+		if err == nil && pr.Plan.NumStages() > 1 {
 			// Use the lightest boundary of the planner's config-C plan, the
 			// environment where boundary traffic matters most.
 			best := pr.Plan.BoundaryBytes(0)
@@ -59,7 +66,7 @@ func Table1(opts Options) *Report {
 
 // Table2 regenerates Table II: the benchmark zoo with parameter counts and
 // single-device training memory at the profiling micro-batch.
-func Table2(Options) *Report {
+func Table2(ctx context.Context, _ Options) *Report {
 	r := &Report{ID: "table2", Title: "Benchmark models",
 		Header: []string{"Model", "Layers", "#Params", "ProfileBatch", "GBS", "TrainMem"}}
 	for _, m := range model.Zoo() {
@@ -78,7 +85,7 @@ func Table2(Options) *Report {
 }
 
 // Table3 prints Table III's hardware configurations as modeled.
-func Table3(Options) *Report {
+func Table3(ctx context.Context, _ Options) *Report {
 	r := &Report{ID: "table3", Title: "Hardware configurations",
 		Header: []string{"Config", "Servers", "GPUs/server", "Intra", "Inter", "Memory"}}
 	for _, k := range []string{"A", "B", "C"} {
@@ -97,15 +104,21 @@ func Table3(Options) *Report {
 // policy PB over PA on config A, using each model's planned strategy. Models
 // with a notable activation-communication ratio benefit from the deeper
 // warmup; compute-dominated transformers do not.
-func Table4(opts Options) *Report {
+func Table4(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "table4", Title: "Scheduling policy speedup (PB vs PA, config A)",
 		Header: []string{"Model", "ACR", "PA thpt", "PB thpt", "PB/PA", "paper"}}
 	paper := map[string]string{"BERT-48": "1.0", "XLNet-36": "1.02", "VGG-19": "1.1", "GNMT-16": "1.31"}
 	c := hardware.ConfigA(2)
 	for _, name := range []string{"BERT-48", "XLNet-36", "VGG-19", "GNMT-16"} {
+		if truncated(ctx, r) {
+			return r
+		}
 		m := model.ByName(name)
-		pr, err := planner.Plan(m, c, plannerOpts(opts, 0))
+		pr, err := planner.PlanContext(ctx, m, c, plannerOpts(opts, 0))
 		if err != nil {
+			if truncated(ctx, r) {
+				return r
+			}
 			r.Addf("%s: %v", name, err)
 			continue
 		}
@@ -133,14 +146,20 @@ var table5Paper = map[string]string{
 
 // Table5 regenerates Table V: the planner's output plan, split position and
 // ACR for every benchmark on the three 16-device environments.
-func Table5(opts Options) *Report {
+func Table5(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "table5", Title: "DAPPLE planning results (16 devices)",
 		Header: []string{"Model(GBS)", "Config", "Output plan", "Split", "ACR", "Speedup", "paper plan"}}
 	for _, m := range model.Zoo() {
 		for _, k := range []string{"A", "B", "C"} {
+			if truncated(ctx, r) {
+				return r
+			}
 			c := hardware.StandardConfigs()[k]
-			pr, err := planner.Plan(m, c, plannerOpts(opts, 0))
+			pr, err := planner.PlanContext(ctx, m, c, plannerOpts(opts, 0))
 			if err != nil {
+				if truncated(ctx, r) {
+					return r
+				}
 				r.Add(fmt.Sprintf("%s(%d)", m.Name, m.DefaultGBS), k, "infeasible", "-", "-", "-",
 					table5Paper[m.Name+"/"+k])
 				continue
@@ -164,7 +183,7 @@ func Table5(opts Options) *Report {
 // Table6 regenerates Table VI: DAPPLE vs GPipe throughput and average peak
 // memory on a 2-stage BERT-48 pipeline (config B, micro-batch 2), with and
 // without re-computation, across micro-batch counts M.
-func Table6(Options) *Report {
+func Table6(ctx context.Context, _ Options) *Report {
 	r := &Report{ID: "table6", Title: "DAPPLE vs GPipe (BERT-48, 2-stage, config B, micro-batch 2)",
 		Header: []string{"Schedule", "M", "Throughput(samples/s)", "AvgPeakMem", "OOM"}}
 	m := model.BERT48()
@@ -185,6 +204,9 @@ func Table6(Options) *Report {
 	var gpipeThpt, dappleThpt float64
 	for _, v := range variants {
 		for _, M := range v.ms {
+			if truncated(ctx, r) {
+				return r
+			}
 			plan := baselines.GPipePlan(m, c, M*m.ProfileBatch, 2)
 			res := schedule.MustRun(plan, schedule.Options{Policy: v.policy, Recompute: v.recompute, M: M})
 			oom := ""
@@ -213,7 +235,7 @@ func Table6(Options) *Report {
 
 // Table7 regenerates Table VII: DAPPLE vs PipeDream planner strategies on a
 // 2x8 config-A cluster, printed as (start,end)@[GPUs] blocks.
-func Table7(opts Options) *Report {
+func Table7(ctx context.Context, opts Options) *Report {
 	r := &Report{ID: "table7", Title: "Strategies: DAPPLE planner vs PipeDream planner (2x8 config A)",
 		Header: []string{"Model(GBS)", "Planner", "Strategy"}}
 	c := hardware.ConfigA(2)
@@ -227,8 +249,14 @@ func Table7(opts Options) *Report {
 		{model.XLNet36(), 128},
 	}
 	for _, tc := range cases {
-		pr, err := planner.Plan(tc.m, c, plannerOpts(opts, tc.gbs))
+		if truncated(ctx, r) {
+			return r
+		}
+		pr, err := planner.PlanContext(ctx, tc.m, c, plannerOpts(opts, tc.gbs))
 		if err != nil {
+			if truncated(ctx, r) {
+				return r
+			}
 			r.Add(fmt.Sprintf("%s(%d)", tc.m.Name, tc.gbs), "DAPPLE", "infeasible")
 		} else {
 			r.Add(fmt.Sprintf("%s(%d)", tc.m.Name, tc.gbs), "DAPPLE", strategyString(pr.Plan))
@@ -262,11 +290,14 @@ func strategyString(p *core.Plan) string {
 // Table8 regenerates Table VIII: the maximum BERT depth DAPPLE +
 // re-computation supports per pipeline width on config A, with total
 // parameter state and average GPU utilization.
-func Table8(Options) *Report {
+func Table8(ctx context.Context, _ Options) *Report {
 	r := &Report{ID: "table8", Title: "Weak scaling: max BERT under DAPPLE+recompute (16GB V100s)",
 		Header: []string{"Config", "BERT-L", "#Params", "ParamState", "AvgUtil", "paper L"}}
 	paper := map[int]string{1: "48", 2: "106", 4: "215", 8: "428"}
 	for _, width := range []int{1, 2, 4, 8} {
+		if truncated(ctx, r) {
+			return r
+		}
 		l := maxBERTLayers(width)
 		m := model.BERT(l)
 		state := m.OptimizerStateBytes(m.TotalParamBytes())

@@ -14,6 +14,8 @@ package model
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 )
 
 // Layer is one profiled pipeline-splittable unit of a model.
@@ -189,4 +191,40 @@ func (m *Model) Validate() error {
 func (m *Model) String() string {
 	return fmt.Sprintf("%s: %d layers, %.1fM params, profile batch %d",
 		m.Name, len(m.Layers), float64(m.TotalParams())/1e6, m.ProfileBatch)
+}
+
+// Fingerprint hashes every field that influences planning (names, layer
+// profiles, batch and optimizer geometry) into a stable 64-bit key. Two
+// models with equal fingerprints plan identically, so caches may key on it
+// rather than on the Name alone — re-profiled custom architectures share a
+// name but not a profile.
+func (m *Model) Fingerprint() uint64 {
+	h := fnv.New64a()
+	w := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	// Strings are length-prefixed so adjacent fields cannot absorb each
+	// other's bytes and collide across distinct models.
+	ws := func(s string) {
+		w(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	ws(m.Name)
+	w(uint64(m.ProfileBatch))
+	w(uint64(m.DefaultGBS))
+	w(uint64(m.OptimizerBytesPerParam))
+	w(uint64(m.WorkspaceBytes))
+	for _, l := range m.Layers {
+		ws(l.Name)
+		w(math.Float64bits(l.FwdTime))
+		w(math.Float64bits(l.BwdTime))
+		w(uint64(l.OutputBytes))
+		w(uint64(l.StoredBytes))
+		w(uint64(l.ParamBytes))
+	}
+	return h.Sum64()
 }

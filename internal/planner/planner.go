@@ -22,6 +22,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,92 +33,44 @@ import (
 	"dapple/internal/hardware"
 	"dapple/internal/model"
 	"dapple/internal/schedule"
+	"dapple/internal/strategy"
 )
 
-// Options tune the search.
-type Options struct {
-	// GBS is the global batch size; 0 uses the model default.
-	GBS int
+// Options tune the search; the planner honors every knob of the shared
+// strategy options.
+type Options = strategy.Options
 
-	// MaxStages caps computation stages in the general search (0 = 4;
-	// straight pipelines with one stage per device are seeded separately).
-	MaxStages int
-
-	// SkipMemCheck accepts plans regardless of device memory.
-	SkipMemCheck bool
-
-	// PruneSlack widens branch-and-bound pruning: states whose candidate
-	// latency exceeds best*PruneSlack are not extended. 0 means 1.6.
-	PruneSlack float64
-
-	// Finalists bounds how many analytic-best candidates are re-ranked on
-	// the simulator. 0 means 24.
-	Finalists int
-}
-
-// Result is the planner's output.
-type Result struct {
-	Plan    *core.Plan
-	Latency float64 // simulated pipeline latency of the chosen plan, seconds
-	Speedup float64 // vs single-device execution of the same global batch
-
-	// Analytic is the Eq. (1)-(2) latency estimate of the chosen plan; the
-	// search optimizes this, then re-ranks finalists on the discrete-event
-	// simulator, which also accounts for the non-pivot bubbles and link
-	// contention the analytic objective approximates away.
-	Analytic float64
-
-	// NeedsRecompute reports that the plan fits device memory only with
-	// activation re-computation enabled.
-	NeedsRecompute bool
-
-	// Policy is the recommended warmup policy for the runtime: PB when the
-	// plan's activation-communication ratio is notable (cross-stage traffic
-	// comparable to compute, §V-C / Table IV), PA otherwise.
-	Policy schedule.Policy
-
-	// Explored counts complete candidate plans evaluated.
-	Explored int
-}
-
-// pbACRThreshold is the activation-communication ratio above which the
-// deeper warmup of policy B pays off (Table IV: GNMT/VGG/AmoebaNet at
-// ACR >= ~0.1 benefit; BERT/XLNet below do not).
-const pbACRThreshold = 0.1
-
-// String implements fmt.Stringer.
-func (r *Result) String() string {
-	return fmt.Sprintf("%v  latency=%.1fms speedup=%.2fx acr=%.3f",
-		r.Plan, r.Latency*1e3, r.Speedup, r.Plan.ACR())
-}
+// Result is the planner's output, in the shape every registered strategy
+// shares.
+type Result = strategy.Result
 
 // Plan searches for the latency-optimal hybrid plan.
 func Plan(m *model.Model, c hardware.Cluster, opts Options) (*Result, error) {
+	return PlanContext(context.Background(), m, c, opts)
+}
+
+// PlanContext is Plan under a context: the dynamic-program search and the
+// simulator re-ranking both stop promptly with ctx's error once ctx is
+// cancelled or past its deadline.
+func PlanContext(ctx context.Context, m *model.Model, c hardware.Cluster, opts Options) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts = opts.Normalize(m.DefaultGBS)
 	gbs := opts.GBS
-	if gbs <= 0 {
-		gbs = m.DefaultGBS
-	}
 	maxStages := opts.MaxStages
-	if maxStages <= 0 {
-		maxStages = 4
-	}
 	slack := opts.PruneSlack
-	if slack <= 0 {
-		slack = 1.6
-	}
 	finalists := opts.Finalists
-	if finalists <= 0 {
-		finalists = 24
-	}
 
 	s := &search{
-		m: m, c: c, gbs: gbs,
+		ctx: ctx,
+		m:   m, c: c, gbs: gbs,
 		maxStages: maxStages,
 		memCheck:  !opts.SkipMemCheck,
 		slack:     slack,
@@ -126,8 +79,14 @@ func Plan(m *model.Model, c hardware.Cluster, opts Options) (*Result, error) {
 		cands:     map[string]candidate{},
 	}
 	s.run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := s.finalize(finalists)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("planner: %s on %s (gbs %d): %w", m.Name, c.Name, gbs, err)
 	}
 	res.Explored = s.explored
@@ -142,6 +101,7 @@ type candidate struct {
 }
 
 type search struct {
+	ctx       context.Context
 	m         *model.Model
 	c         hardware.Cluster
 	gbs       int
@@ -151,8 +111,21 @@ type search struct {
 
 	best     float64 // best analytic latency (pruning incumbent)
 	explored int
+	stopped  bool // ctx expired; unwind the search without exploring further
 	memo     map[string]float64
 	cands    map[string]candidate
+}
+
+// cancelled reports (and latches) context expiry so every search loop can
+// unwind cheaply without re-querying the context after it first fires.
+func (s *search) cancelled() bool {
+	if s.stopped {
+		return true
+	}
+	if s.ctx.Err() != nil {
+		s.stopped = true
+	}
+	return s.stopped
 }
 
 // alloc tracks GPUs already claimed per server.
@@ -184,6 +157,9 @@ func (s *search) run() {
 	// i.e. pure data parallelism.
 	s.candidate(nil, 0, used)
 	s.extend(0, used, nil)
+	if s.cancelled() {
+		return
+	}
 	s.seedStraight()
 	s.seedPipeDream()
 }
@@ -208,6 +184,9 @@ func (s *search) extend(j int, used alloc, prefix []core.Stage) {
 	}
 	for j2 := j + 1; j2 < n; j2++ {
 		for r := 1; r < free; r++ {
+			if s.cancelled() {
+				return
+			}
 			for _, take := range s.placements(used, r) {
 				stage := s.materialize(j, j2, used, take)
 				newUsed := used.clone()
@@ -354,18 +333,20 @@ func (s *search) finalize(limit int) (*Result, error) {
 		// Re-ranking runs policy A uniformly — the paper's planner selects
 		// partitions independently of the warmup policy; PB is recommended
 		// for the chosen plan afterwards when its ACR warrants it (§V-C).
-		r, err := schedule.Run(c.plan, schedule.Options{
+		r, err := schedule.RunContext(s.ctx, c.plan, schedule.Options{
 			Policy:    schedule.DapplePA,
 			Recompute: c.recompute,
 		})
-		if err != nil || (s.memCheck && r.OOM) {
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return nil, s.ctx.Err()
+			}
 			continue
 		}
-		pol := schedule.DapplePA
-		if c.plan.ACR() >= pbACRThreshold {
-			pol = schedule.DapplePB
+		if s.memCheck && r.OOM {
+			continue
 		}
-		rs = append(rs, ranked{c, r.IterTime, pol})
+		rs = append(rs, ranked{c, r.IterTime, strategy.RecommendPolicy(c.plan)})
 	}
 	if len(rs) == 0 {
 		return nil, fmt.Errorf("no feasible plan")
@@ -382,6 +363,7 @@ func (s *search) finalize(limit int) (*Result, error) {
 		}
 	}
 	return &Result{
+		Strategy:       StrategyName,
 		Plan:           pick.plan,
 		Latency:        pick.sim,
 		Analytic:       pick.analytic,

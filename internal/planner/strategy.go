@@ -1,0 +1,29 @@
+package planner
+
+import (
+	"context"
+
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/strategy"
+)
+
+// StrategyName is the planner's key in the strategy registry.
+const StrategyName = "dapple"
+
+// Strategy returns the DAPPLE planner as a pluggable strategy.
+func Strategy() strategy.Strategy { return dappleStrategy{} }
+
+type dappleStrategy struct{}
+
+func (dappleStrategy) Name() string { return StrategyName }
+
+func (dappleStrategy) Describe() string {
+	return "DAPPLE planner: DP search over partitions, replication and placement, re-ranked on the simulator (§IV)"
+}
+
+func (dappleStrategy) Plan(ctx context.Context, m *model.Model, c hardware.Cluster, opts strategy.Options) (*strategy.Result, error) {
+	return PlanContext(ctx, m, c, opts)
+}
+
+func init() { strategy.MustRegister(dappleStrategy{}) }

@@ -12,6 +12,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"dapple/internal/core"
@@ -119,6 +120,12 @@ func (r *Result) StageResource(i int) int { return r.stageRes[i] }
 
 // Run simulates one training iteration of the plan under the given options.
 func Run(p *core.Plan, opts Options) (*Result, error) {
+	return RunContext(context.Background(), p, opts)
+}
+
+// RunContext is Run under a context: the discrete-event execution aborts with
+// ctx's error once ctx is cancelled or past its deadline.
+func RunContext(ctx context.Context, p *core.Plan, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,7 +146,10 @@ func Run(p *core.Plan, opts Options) (*Result, error) {
 	if err := b.g.Validate(); err != nil {
 		return nil, fmt.Errorf("schedule: internal graph error: %w", err)
 	}
-	sr := b.g.Run()
+	sr, err := b.g.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Plan:     p,

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -177,6 +178,21 @@ func (r *Result) AvgPeakMem() float64 {
 // Run executes the graph and returns its timeline. It panics on dependency
 // cycles (a builder bug, not an input condition).
 func (g *Graph) Run() *Result {
+	res, err := g.RunContext(context.Background())
+	if err != nil { // unreachable: Background is never cancelled
+		panic(err)
+	}
+	return res
+}
+
+// ctxCheckStride bounds how many tasks execute between context checks; large
+// graphs (GPipe floods build O(stages x M) tasks) stay responsive to
+// cancellation without paying an atomic load per task.
+const ctxCheckStride = 512
+
+// RunContext is Run under a context: execution stops between tasks once ctx
+// is cancelled or past its deadline, returning ctx's error and no result.
+func (g *Graph) RunContext(ctx context.Context) (*Result, error) {
 	n := len(g.tasks)
 	indeg := make([]int, n)
 	children := make([][]TaskID, n)
@@ -216,6 +232,9 @@ func (g *Graph) Run() *Result {
 
 	executed := 0
 	for executed < n {
+		if executed%ctxCheckStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if len(runnable) == 0 {
 			panic("sim: dependency cycle in task graph")
 		}
@@ -302,7 +321,7 @@ func (g *Graph) Run() *Result {
 		}
 		return res.Spans[i].Task < res.Spans[j].Task
 	})
-	return res
+	return res, nil
 }
 
 // Validate checks the graph for out-of-range dependencies and resources.

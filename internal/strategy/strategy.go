@@ -1,0 +1,226 @@
+// Package strategy defines the pluggable planning interface the engine is
+// built around: a Strategy turns (model, cluster, options) into a Result
+// under a context, and a process-wide registry makes strategies addressable
+// by name. The DAPPLE planner (internal/planner) and every baseline of the
+// paper's evaluation (internal/baselines: pure data parallelism, GPipe,
+// PipeDream, the straight pipeline) implement it, so all of them return the
+// same Result shape and compare apples-to-apples.
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/schedule"
+)
+
+// Options tune a strategy's plan search. Strategies ignore knobs that do not
+// apply to them (the baselines have no branch-and-bound to prune); GBS is
+// honored by all.
+type Options struct {
+	// GBS is the global batch size; 0 uses the model default.
+	GBS int
+
+	// MaxStages caps computation stages in the general search (0 = 4;
+	// straight pipelines with one stage per device are seeded separately).
+	MaxStages int
+
+	// SkipMemCheck accepts plans regardless of device memory.
+	SkipMemCheck bool
+
+	// PruneSlack widens branch-and-bound pruning: states whose candidate
+	// latency exceeds best*PruneSlack are not extended. 0 means 1.6.
+	PruneSlack float64
+
+	// Finalists bounds how many analytic-best candidates are re-ranked on
+	// the simulator. 0 means 24.
+	Finalists int
+}
+
+// Canonical defaults substituted for zero-valued Options knobs.
+const (
+	DefaultMaxStages  = 4
+	DefaultPruneSlack = 1.6
+	DefaultFinalists  = 24
+)
+
+// Normalize returns o with zero values replaced by the canonical defaults
+// (and GBS by defaultGBS), so an implicitly-defaulted and an explicitly-
+// defaulted request compare equal — plan caches key on normalized Options.
+func (o Options) Normalize(defaultGBS int) Options {
+	if o.GBS <= 0 {
+		o.GBS = defaultGBS
+	}
+	if o.MaxStages <= 0 {
+		o.MaxStages = DefaultMaxStages
+	}
+	if !(o.PruneSlack > 0) { // also replaces NaN, which would poison map keys
+		o.PruneSlack = DefaultPruneSlack
+	}
+	if o.Finalists <= 0 {
+		o.Finalists = DefaultFinalists
+	}
+	return o
+}
+
+// Result is the common output shape of every strategy: the chosen plan plus
+// its simulated latency, so DAPPLE and the baselines are directly comparable.
+type Result struct {
+	// Strategy is the registry name of the strategy that produced the result.
+	Strategy string
+
+	Plan    *core.Plan
+	Latency float64 // simulated pipeline latency of the chosen plan, seconds
+	Speedup float64 // vs single-device execution of the same global batch
+
+	// Analytic is the Eq. (1)-(2) latency estimate of the chosen plan; the
+	// DAPPLE search optimizes this, then re-ranks finalists on the
+	// discrete-event simulator, which also accounts for the non-pivot bubbles
+	// and link contention the analytic objective approximates away.
+	Analytic float64
+
+	// NeedsRecompute reports that the plan fits device memory only with
+	// activation re-computation enabled.
+	NeedsRecompute bool
+
+	// Policy is the recommended warmup policy for the runtime: PB when the
+	// plan's activation-communication ratio is notable (cross-stage traffic
+	// comparable to compute, §V-C / Table IV), PA otherwise. GPipe-style
+	// strategies recommend the GPipe flood schedule.
+	Policy schedule.Policy
+
+	// Explored counts complete candidate plans evaluated.
+	Explored int
+}
+
+// String implements fmt.Stringer.
+func (r *Result) String() string {
+	return fmt.Sprintf("%v  latency=%.1fms speedup=%.2fx acr=%.3f",
+		r.Plan, r.Latency*1e3, r.Speedup, r.Plan.ACR())
+}
+
+// Strategy plans one model on one cluster. Implementations must be safe for
+// concurrent use and must return promptly with ctx.Err() once ctx is
+// cancelled or past its deadline.
+type Strategy interface {
+	// Name is the registry key ("dapple", "dp", "gpipe", "pipedream", ...).
+	Name() string
+	// Describe is a one-line human-readable summary for listings.
+	Describe() string
+	// Plan searches for this strategy's plan of m on c.
+	Plan(ctx context.Context, m *model.Model, c hardware.Cluster, opts Options) (*Result, error)
+}
+
+// PBACRThreshold is the activation-communication ratio above which the
+// deeper warmup of policy B pays off (Table IV: GNMT/VGG/AmoebaNet at
+// ACR >= ~0.1 benefit; BERT/XLNet below do not).
+const PBACRThreshold = 0.1
+
+// RecommendPolicy picks the runtime warmup policy for a plan by its ACR.
+func RecommendPolicy(p *core.Plan) schedule.Policy {
+	if p.ACR() >= PBACRThreshold {
+		return schedule.DapplePB
+	}
+	return schedule.DapplePA
+}
+
+// Evaluate scores a fixed plan the way the registry expects strategies to:
+// simulate one iteration under pol, fall back to activation re-computation
+// when the plain schedule overflows device memory, and fill the common
+// Result shape. Baseline strategies, which construct a single plan rather
+// than search a space, share it.
+func Evaluate(ctx context.Context, name string, p *core.Plan, pol schedule.Policy, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("strategy %s: %w", name, err)
+	}
+	res, err := schedule.RunContext(ctx, p, schedule.Options{Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	recompute := false
+	if res.OOM && !opts.SkipMemCheck {
+		rc, err := schedule.RunContext(ctx, p, schedule.Options{Policy: pol, Recompute: true})
+		if err != nil {
+			return nil, err
+		}
+		if rc.OOM {
+			return nil, fmt.Errorf("strategy %s: plan %v overflows device memory on stage %d even with re-computation",
+				name, p, rc.OOMStage)
+		}
+		res, recompute = rc, true
+	}
+	return &Result{
+		Strategy:       name,
+		Plan:           p,
+		Latency:        res.IterTime,
+		Speedup:        p.Model.SingleDeviceIterTime(p.GBS) / res.IterTime,
+		Analytic:       p.Latency(),
+		NeedsRecompute: recompute,
+		Policy:         pol,
+		Explored:       1,
+	}, nil
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Strategy{}
+)
+
+// Register adds a strategy to the process-wide registry. It fails on empty
+// or duplicate names so two packages cannot silently shadow one another.
+func Register(s Strategy) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("strategy: register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		return fmt.Errorf("strategy: %q already registered", s.Name())
+	}
+	registry[s.Name()] = s
+	return nil
+}
+
+// MustRegister is Register for package init paths.
+func MustRegister(s Strategy) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named strategy.
+func Lookup(name string) (Strategy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered strategy names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered strategy, sorted by name.
+func All() []Strategy {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Strategy, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

@@ -1,0 +1,139 @@
+package strategy
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/schedule"
+)
+
+// twoStagePlan builds a 2-stage straight pipeline over a 2-device flat
+// cluster with the given per-device memory budget.
+func twoStagePlan(mem int64) *core.Plan {
+	m := model.Synthetic(8, 1e-3, 1<<20, 256<<20, 1<<20) // 256 MiB stored per layer
+	c := hardware.ConfigB(2)
+	c.DeviceMemory = mem
+	p := &core.Plan{
+		Model: m, Cluster: c, GBS: 8,
+		Stages: []core.Stage{
+			{Lo: 0, Hi: 4, Devices: []hardware.DeviceID{0}},
+			{Lo: 4, Hi: 8, Devices: []hardware.DeviceID{1}},
+		},
+	}
+	p.MicroBatch = core.ChooseMicroBatch(m, p.GBS)
+	return p
+}
+
+// TestEvaluateRecomputeFallback: when the plain schedule overflows device
+// memory but the re-computing one fits, Evaluate reports NeedsRecompute; when
+// nothing fits, it errors; when memory is ample, no re-computation is used.
+func TestEvaluateRecomputeFallback(t *testing.T) {
+	ctx := context.Background()
+
+	plain, err := Evaluate(ctx, "test", twoStagePlan(1<<40), schedule.GPipe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NeedsRecompute {
+		t.Fatal("ample memory still triggered re-computation")
+	}
+	if plain.Latency <= 0 || plain.Speedup <= 0 || plain.Strategy != "test" {
+		t.Fatalf("degenerate result %+v", plain)
+	}
+
+	// The GPipe flood retains all M=8 micro-batches of 4 layers x 256 MiB
+	// (8 GiB on stage 0); a 2 GiB budget overflows plainly but fits the
+	// boundary-stash + one-live-micro-batch footprint of re-computation.
+	rc, err := Evaluate(ctx, "test", twoStagePlan(2<<30), schedule.GPipe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.NeedsRecompute {
+		t.Fatal("tight memory did not trigger re-computation")
+	}
+	if rc.Latency <= plain.Latency {
+		t.Fatalf("re-computation did not cost time: %.6f vs %.6f", rc.Latency, plain.Latency)
+	}
+
+	if _, err := Evaluate(ctx, "test", twoStagePlan(1<<20), schedule.GPipe, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "overflows device memory") {
+		t.Fatalf("infeasible memory produced %v, want overflow error", err)
+	}
+}
+
+// TestRecommendPolicy: communication-heavy plans get the deeper PB warmup.
+func TestRecommendPolicy(t *testing.T) {
+	light := twoStagePlan(1 << 40) // 1 MiB boundaries vs ms-scale compute
+	if got := RecommendPolicy(light); got != schedule.DapplePA {
+		t.Fatalf("compute-bound plan recommended %v", got)
+	}
+	heavy := twoStagePlan(1 << 40)
+	for i := range heavy.Model.Layers {
+		heavy.Model.Layers[i].OutputBytes = 1 << 30
+	}
+	if got := RecommendPolicy(heavy); got != schedule.DapplePB {
+		t.Fatalf("communication-bound plan recommended %v", got)
+	}
+}
+
+// stubStrategy is a registerable no-op for registry tests; this package's
+// test binary does not link planner/baselines, so the registry starts empty.
+type stubStrategy string
+
+func (s stubStrategy) Name() string     { return string(s) }
+func (s stubStrategy) Describe() string { return "stub" }
+func (s stubStrategy) Plan(context.Context, *model.Model, hardware.Cluster, Options) (*Result, error) {
+	return nil, nil
+}
+
+// TestNormalize: zero and NaN knobs collapse to the canonical defaults, so
+// map keys built from Options stay well-behaved; set values pass through.
+func TestNormalize(t *testing.T) {
+	got := Options{PruneSlack: math.NaN()}.Normalize(64)
+	want := Options{GBS: 64, MaxStages: DefaultMaxStages, PruneSlack: DefaultPruneSlack, Finalists: DefaultFinalists}
+	if got != want {
+		t.Fatalf("Normalize = %+v, want %+v", got, want)
+	}
+	set := Options{GBS: 8, MaxStages: 2, PruneSlack: 1.1, Finalists: 3}
+	if got := set.Normalize(64); got != set {
+		t.Fatalf("Normalize changed explicit options: %+v", got)
+	}
+}
+
+// TestRegistry: registration, duplicate rejection, and sorted agreement of
+// Names and All.
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"stub-c", "stub-a", "stub-b"} {
+		if err := Register(stubStrategy(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Register(stubStrategy("stub-a")); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	if err := Register(stubStrategy("")); err == nil {
+		t.Fatal("empty-name registration succeeded")
+	}
+	if _, ok := Lookup("stub-b"); !ok {
+		t.Fatal("Lookup missed a registered strategy")
+	}
+
+	names := Names()
+	all := All()
+	if len(names) != len(all) || len(names) < 3 {
+		t.Fatalf("Names has %d entries, All has %d, want 3 matching", len(names), len(all))
+	}
+	for i, s := range all {
+		if s.Name() != names[i] {
+			t.Fatalf("ordering mismatch at %d: %q vs %q", i, s.Name(), names[i])
+		}
+		if i > 0 && names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
