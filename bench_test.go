@@ -73,6 +73,56 @@ func BenchmarkPlannerSearch(b *testing.B) {
 	}
 }
 
+// benchPlannerWorkers runs the full search for one of the large zoo models
+// at a fixed worker count, so sequential (workers=1) and parallel
+// (workers=8) wall clocks compare directly — the plans are identical by
+// construction, only the fan-out differs.
+func benchPlannerWorkers(b *testing.B, m *model.Model, workers int) {
+	b.Helper()
+	c := hardware.ConfigA(2)
+	for i := 0; i < b.N; i++ {
+		r, err := planner.Plan(m, c, planner.Options{PruneSlack: 1.3, Finalists: 8, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.Explored), "plans")
+		}
+	}
+}
+
+func BenchmarkPlannerBERT48Sequential(b *testing.B) { benchPlannerWorkers(b, model.BERT48(), 1) }
+func BenchmarkPlannerBERT48Parallel8(b *testing.B)  { benchPlannerWorkers(b, model.BERT48(), 8) }
+func BenchmarkPlannerXLNet36Sequential(b *testing.B) {
+	benchPlannerWorkers(b, model.XLNet36(), 1)
+}
+func BenchmarkPlannerXLNet36Parallel8(b *testing.B) { benchPlannerWorkers(b, model.XLNet36(), 8) }
+
+// BenchmarkPlannerExhaustive measures the search with pruning disabled on a
+// flat 8-device cluster (the hierarchical 2x8 exhaustive space takes ~15 s
+// per run): the denominator of the branch-and-bound speedup in CHANGES.md.
+func BenchmarkPlannerExhaustive(b *testing.B) {
+	m := model.GNMT16()
+	c := hardware.ConfigB(8)
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(m, c, planner.Options{PruneSlack: 1.3, Finalists: 8, NoPrune: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerPruned is BenchmarkPlannerExhaustive with pruning on: the
+// numerator of the branch-and-bound speedup.
+func BenchmarkPlannerPruned(b *testing.B) {
+	m := model.GNMT16()
+	c := hardware.ConfigB(8)
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(m, c, planner.Options{PruneSlack: 1.3, Finalists: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLatencyModel measures the analytic Eq. (1)-(2) evaluation the
 // planner calls per candidate.
 func BenchmarkLatencyModel(b *testing.B) {

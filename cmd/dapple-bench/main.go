@@ -27,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	list := flag.Bool("list", false, "list experiment ids")
+	planFlags := cliutil.RegisterPlanFlags()
 	flag.Parse()
 
 	if *list {
@@ -39,7 +40,7 @@ func main() {
 	ctx, cancel := cliutil.RootContext(*timeout)
 	defer cancel()
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Workers: planFlags.Workers, NoPrune: planFlags.NoPrune}
 	run := func(g experiments.Generator) {
 		start := time.Now()
 		rep := g.Run(ctx, opts)

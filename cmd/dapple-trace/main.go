@@ -34,6 +34,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 		out       = flag.String("out", "", "write <out>.<policy>.json Chrome traces")
 	)
+	planFlags := cliutil.RegisterPlanFlags()
 	flag.Parse()
 
 	mod := dapple.ModelByName(*modelName)
@@ -49,6 +50,7 @@ func main() {
 	eng, err := dapple.NewEngine(
 		dapple.WithCluster(c),
 		dapple.WithStrategy(*strategy),
+		dapple.WithPlanOptions(planFlags.Apply(dapple.PlanOptions{})),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

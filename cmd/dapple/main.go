@@ -44,6 +44,7 @@ func main() {
 		listAll    = flag.Bool("models", false, "list zoo models and exit")
 		listStrats = flag.Bool("strategies", false, "list registered strategies and exit")
 	)
+	planFlags := cliutil.RegisterPlanFlags()
 	flag.Parse()
 
 	if *listAll {
@@ -95,7 +96,7 @@ func main() {
 		fmt.Printf("plan:    %v (loaded from %s)\n", plan, *planIn)
 	} else {
 		start := time.Now()
-		pr, err := eng.PlanWith(ctx, m, dapple.PlanOptions{GBS: *gbs})
+		pr, err := eng.PlanWith(ctx, m, planFlags.Apply(dapple.PlanOptions{GBS: *gbs}))
 		if err != nil {
 			fatalf("planning failed: %v", err)
 		}

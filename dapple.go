@@ -28,6 +28,16 @@
 // recommended runtime policy, and whether activation re-computation is
 // needed, so alternatives compare apples-to-apples.
 //
+// # Parallel planning
+//
+// The DAPPLE planner fans its search out across first-stage split points on
+// a worker pool and prunes with an admissible branch-and-bound lower bound.
+// PlanOptions.Workers bounds the fan-out (0 = GOMAXPROCS, 1 = sequential;
+// WithPlannerWorkers sets it on an engine) and PlanOptions.NoPrune disables
+// pruning for soundness testing. The chosen plan is byte-identical for
+// every worker count: branches search isolated state and merge in
+// deterministic order. See ARCHITECTURE.md for the full walk-through.
+//
 // The components mirror the paper's Fig. 1 workflow: the Profiler
 // (ProfileArch) turns an architecture into per-layer statistics; a Strategy
 // searches stage partitions, replication and topology-aware placement; the

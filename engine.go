@@ -116,10 +116,23 @@ func WithProgress(fn func(Progress)) EngineOption {
 }
 
 // WithPlanOptions sets the default search options Plan uses; PlanWith
-// overrides them per call.
+// overrides them per call. The options carry the planner's parallelism and
+// pruning knobs too (PlanOptions.Workers, PlanOptions.NoPrune).
 func WithPlanOptions(opts PlanOptions) EngineOption {
 	return func(e *Engine) error {
 		e.planOpts = opts
+		return nil
+	}
+}
+
+// WithPlannerWorkers bounds the goroutines the planner search fans out over
+// first-stage split points (0 = GOMAXPROCS, 1 = sequential). The chosen plan
+// is identical for every value; only wall-clock time changes. It edits the
+// engine's default plan options, so combine it with WithPlanOptions by
+// passing it afterwards.
+func WithPlannerWorkers(n int) EngineOption {
+	return func(e *Engine) error {
+		e.planOpts.Workers = n
 		return nil
 	}
 }

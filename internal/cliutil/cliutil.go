@@ -5,6 +5,7 @@ package cliutil
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -13,6 +14,7 @@ import (
 
 	"dapple/internal/hardware"
 	"dapple/internal/schedule"
+	"dapple/internal/strategy"
 )
 
 // PickConfig resolves a Table III hardware config name (A, B or C, case
@@ -59,6 +61,36 @@ func ParsePolicy(name string) (schedule.Policy, error) {
 
 // PolicyHelp is the -policy flag usage string.
 const PolicyHelp = "schedule policy: pa, pb or gpipe"
+
+// PlanFlags holds the planner-search tuning flags every dapple command
+// shares, so the flag names and defaults cannot drift between binaries.
+type PlanFlags struct {
+	// Workers is the -planner-workers value: goroutines fanned out over
+	// first-stage split points (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// NoPrune is the -planner-no-prune value: disable branch-and-bound
+	// pruning and run the exhaustive search.
+	NoPrune bool
+}
+
+// RegisterPlanFlags registers the shared planner tuning flags on the default
+// flag set and returns the struct the parsed values land in. Call before
+// flag.Parse.
+func RegisterPlanFlags() *PlanFlags {
+	pf := &PlanFlags{}
+	flag.IntVar(&pf.Workers, "planner-workers", 0,
+		"parallel planner search workers (0 = GOMAXPROCS, 1 = sequential; plans are identical either way)")
+	flag.BoolVar(&pf.NoPrune, "planner-no-prune", false,
+		"disable branch-and-bound pruning (exhaustive, much slower search)")
+	return pf
+}
+
+// Apply copies the parsed planner flags onto a strategy options value.
+func (pf *PlanFlags) Apply(o strategy.Options) strategy.Options {
+	o.Workers = pf.Workers
+	o.NoPrune = pf.NoPrune
+	return o
+}
 
 // RootContext returns the context commands should thread into planning and
 // simulation: cancelled on interrupt (ctrl-C), deadline-bounded when timeout

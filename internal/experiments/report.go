@@ -88,6 +88,14 @@ type Options struct {
 	// Quick trims sweeps (fewer batch-size points, smaller planner budgets)
 	// for use inside `go test -bench`.
 	Quick bool
+
+	// Workers bounds each planner search's parallel fan-out
+	// (0 = GOMAXPROCS, 1 = sequential); results are identical either way.
+	Workers int
+
+	// NoPrune runs every planner search exhaustively (no branch-and-bound,
+	// no dominance memo, no slack cut). Orders of magnitude slower.
+	NoPrune bool
 }
 
 // Generator produces one report. Run threads its context into every planner

@@ -352,7 +352,7 @@ func maxBERTLayers(width int) int {
 
 // plannerOpts derives planner options from experiment options.
 func plannerOpts(o Options, gbs int) planner.Options {
-	po := planner.Options{GBS: gbs}
+	po := planner.Options{GBS: gbs, Workers: o.Workers, NoPrune: o.NoPrune}
 	if o.Quick {
 		po.PruneSlack = 1.25
 		po.Finalists = 8

@@ -13,6 +13,11 @@
 // the same search; a dedicated balanced partitioner additionally seeds the
 // deep straight pipeline.
 //
+// The search fans out across first-stage split points on a bounded worker
+// pool (Options.Workers) and cuts hopeless subtrees with an admissible
+// branch-and-bound lower bound; see parallel.go for why the result is
+// nevertheless identical for every worker count.
+//
 // The analytic objective of Eq. (1)-(2) drives the search, but — as the paper
 // notes — it approximates away non-pivot bubbles. The planner therefore
 // re-ranks the best analytic candidates on the discrete-event scheduler
@@ -29,6 +34,7 @@ import (
 	"strconv"
 
 	"dapple/internal/baselines"
+	"dapple/internal/comm"
 	"dapple/internal/core"
 	"dapple/internal/hardware"
 	"dapple/internal/model"
@@ -64,25 +70,25 @@ func PlanContext(ctx context.Context, m *model.Model, c hardware.Cluster, opts O
 	}
 	opts = opts.Normalize(m.DefaultGBS)
 	gbs := opts.GBS
-	maxStages := opts.MaxStages
-	slack := opts.PruneSlack
-	finalists := opts.Finalists
 
 	s := &search{
 		ctx: ctx,
 		m:   m, c: c, gbs: gbs,
-		maxStages: maxStages,
+		maxStages: opts.MaxStages,
 		memCheck:  !opts.SkipMemCheck,
-		slack:     slack,
+		slack:     opts.PruneSlack,
+		workers:   opts.Workers,
+		prune:     !opts.NoPrune,
 		best:      math.Inf(1),
 		memo:      map[string]float64{},
 		cands:     map[string]candidate{},
 	}
+	s.precompute()
 	s.run()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := s.finalize(finalists)
+	res, err := s.finalize(opts.Finalists)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -94,11 +100,35 @@ func PlanContext(ctx context.Context, m *model.Model, c hardware.Cluster, opts O
 	return res, nil
 }
 
+// candidate is one recorded finalist: a complete plan, its analytic latency,
+// and the deterministic sequence number of its discovery, which breaks every
+// tie so the chosen plan does not depend on map iteration order or on how
+// branch searches were scheduled across workers.
 type candidate struct {
 	plan      *core.Plan
 	analytic  float64
 	recompute bool
+	seq       uint64
 }
+
+// betterCand orders candidates by analytic latency, breaking exact ties by
+// discovery order — the total order every candidate sort in this package
+// uses.
+func betterCand(a, b candidate) bool {
+	if a.analytic != b.analytic {
+		return a.analytic < b.analytic
+	}
+	return a.seq < b.seq
+}
+
+// maxCands bounds the candidate table; beyond it the worst half is dropped.
+const maxCands = 4096
+
+// boundSlack widens the branch-and-bound cut: a subtree is pruned only when
+// its latency lower bound exceeds best*boundSlack, keeping near-optimal
+// states alive as finalists for the simulator re-ranking even though they
+// cannot improve the analytic incumbent.
+const boundSlack = 1.05
 
 type search struct {
 	ctx       context.Context
@@ -108,12 +138,37 @@ type search struct {
 	maxStages int
 	memCheck  bool
 	slack     float64
+	workers   int
+	prune     bool
+
+	// Derived once per search (shared read-only with branch searches).
+	mb    int       // micro-batch size every candidate plan uses
+	mOne  float64   // M-1: steady-phase rounds of the latency model
+	sumFB []float64 // sumFB[i]: Σ_{k<i} fwd+bwd time of layer k at mb
 
 	best     float64 // best analytic latency (pruning incumbent)
 	explored int
-	stopped  bool // ctx expired; unwind the search without exploring further
+	stopped  bool   // ctx expired; unwind the search without exploring further
+	seq      uint64 // next candidate sequence number
 	memo     map[string]float64
 	cands    map[string]candidate
+}
+
+// precompute derives the per-search constants of the lower bound: the
+// micro-batch geometry (identical for every candidate plan of this search)
+// and the per-layer work prefix sums.
+func (s *search) precompute() {
+	s.mb = core.ChooseMicroBatch(s.m, s.gbs)
+	mCount := s.gbs / s.mb
+	if mCount < 1 {
+		mCount = 1
+	}
+	s.mOne = float64(mCount - 1)
+	n := s.m.NumLayers()
+	s.sumFB = make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		s.sumFB[i+1] = s.sumFB[i] + s.m.FwdTime(i, s.mb) + s.m.BwdTime(i, s.mb)
+	}
 }
 
 // cancelled reports (and latches) context expiry so every search loop can
@@ -154,14 +209,54 @@ func (s *search) freeTotal(a alloc) int {
 func (s *search) run() {
 	used := make(alloc, s.c.Servers)
 	// The root candidate is the suffix-only plan: one stage on all devices,
-	// i.e. pure data parallelism.
+	// i.e. pure data parallelism. The other seeds run before the fan-out
+	// too: they are cheap, deterministic, and the analytic best among them
+	// is the pruning incumbent every branch search starts from — a tight
+	// shared incumbent is what makes the branch-and-bound cut early.
 	s.candidate(nil, 0, used)
-	s.extend(0, used, nil)
-	if s.cancelled() {
-		return
-	}
 	s.seedStraight()
 	s.seedPipeDream()
+	s.seedBalancedHybrids()
+	s.fanout(used)
+}
+
+// seedBalancedHybrids evaluates one balanced k-stage plan per feasible stage
+// count: layers split by the balanced partitioner, devices split evenly,
+// placed Fresh First. These are the shapes that usually win on hierarchical
+// clusters (e.g. the 8:8 two-stage BERT plan), so seeding them gives the
+// branch-and-bound a near-final incumbent before the general search starts.
+func (s *search) seedBalancedHybrids() {
+	g := s.c.NumDevices()
+	n := s.m.NumLayers()
+	for k := 2; k <= s.maxStages && k <= g && k <= n; k++ {
+		if g%k != 0 {
+			continue
+		}
+		cuts := balancedPartition(s.m, n, k)
+		if cuts == nil {
+			continue
+		}
+		r := g / k
+		used := make(alloc, s.c.Servers)
+		stages := make([]core.Stage, 0, k)
+		lo := 0
+		ok := true
+		for i := 0; i < k; i++ {
+			take := s.freshFirst(used, r)
+			if take == nil {
+				ok = false
+				break
+			}
+			stages = append(stages, s.materialize(lo, cuts[i], used, take))
+			for srv := range take {
+				used[srv] += take[srv]
+			}
+			lo = cuts[i]
+		}
+		if ok {
+			s.evaluate(stages)
+		}
+	}
 }
 
 // seedPipeDream evaluates the PipeDream-style hierarchical plan as a
@@ -176,7 +271,9 @@ func (s *search) seedPipeDream() {
 }
 
 // extend explores states reachable from (prefix covering [0,j), used).
-func (s *search) extend(j int, used alloc, prefix []core.Stage) {
+// maxUnit carries the largest per-micro-batch F+B over the prefix's stage
+// and communication units, the incremental input of lowerBound.
+func (s *search) extend(j int, used alloc, prefix []core.Stage, maxUnit float64) {
 	n := s.m.NumLayers()
 	free := s.freeTotal(used)
 	if len(prefix)+1 >= s.maxStages {
@@ -187,29 +284,78 @@ func (s *search) extend(j int, used alloc, prefix []core.Stage) {
 			if s.cancelled() {
 				return
 			}
+			if s.prune {
+				// Every placement of an r-replica stage [j, j2) shares these
+				// bound terms; skip the placement enumeration when even they
+				// cannot approach the incumbent.
+				unit := (s.sumFB[j2] - s.sumFB[j]) / float64(r)
+				rem := (s.sumFB[n] - s.sumFB[j2]) / float64(free-r)
+				lb := s.mOne * math.Max(maxUnit, math.Max(unit, rem))
+				if lb > s.best*boundSlack {
+					continue
+				}
+			}
 			for _, take := range s.placements(used, r) {
-				stage := s.materialize(j, j2, used, take)
-				newUsed := used.clone()
-				for i := range take {
-					newUsed[i] += take[i]
-				}
-				stages := append(append([]core.Stage(nil), prefix...), stage)
-				l := s.candidate(stages, j2, newUsed)
-				if math.IsInf(l, 1) {
-					continue
-				}
-				key := newUsed.key(j2)
-				if old, ok := s.memo[key]; ok && l >= old {
-					continue
-				}
-				s.memo[key] = l
-				if l > s.best*s.slack {
-					continue
-				}
-				s.extend(j2, newUsed, stages)
+				s.step(j, j2, used, prefix, take, maxUnit)
 			}
 		}
 	}
+}
+
+// step processes one transition: cut a stage holding layers [j, j2) with
+// placement take out of state (j, used, prefix), record the completed
+// candidate it induces, and extend the new state unless a prune rule cuts
+// the subtree.
+func (s *search) step(j, j2 int, used alloc, prefix []core.Stage, take alloc, maxUnit float64) {
+	stage := s.materialize(j, j2, used, take)
+	newUsed := used.clone()
+	for i := range take {
+		newUsed[i] += take[i]
+	}
+	stages := append(append([]core.Stage(nil), prefix...), stage)
+	l := s.candidate(stages, j2, newUsed)
+	if math.IsInf(l, 1) {
+		return
+	}
+	if fb := (s.sumFB[j2] - s.sumFB[j]) / float64(stage.Replicas()); fb > maxUnit {
+		maxUnit = fb
+	}
+	if len(prefix) > 0 {
+		// The boundary into the new stage is a pipeline unit of any
+		// completion too (comm units count toward Eq. 3 pivot selection).
+		t := comm.CrossStageTime(s.c, prefix[len(prefix)-1].Devices, stage.Devices, s.m.OutputBytes(j-1, s.mb))
+		if 2*t > maxUnit {
+			maxUnit = 2 * t
+		}
+	}
+	if s.prune {
+		key := newUsed.key(j2)
+		if old, ok := s.memo[key]; ok && l >= old {
+			return
+		}
+		s.memo[key] = l
+		if l > s.best*s.slack {
+			return
+		}
+		if s.lowerBound(j2, newUsed, maxUnit) > s.best*boundSlack {
+			return
+		}
+	}
+	s.extend(j2, newUsed, stages, maxUnit)
+}
+
+// lowerBound returns an admissible lower bound on the analytic latency of
+// any completion of state (j, used): the steady phase of Eq. (2) is at least
+// (M-1)(F+B) of every pipeline unit, the prefix's units are already fixed,
+// and however the remaining layers are split over the remaining devices,
+// some suffix stage carries at least their mean work per device.
+func (s *search) lowerBound(j int, used alloc, maxUnit float64) float64 {
+	if free := s.freeTotal(used); free > 0 {
+		if mean := (s.sumFB[len(s.sumFB)-1] - s.sumFB[j]) / float64(free); mean > maxUnit {
+			maxUnit = mean
+		}
+	}
+	return s.mOne * maxUnit
 }
 
 // candidate evaluates the complete plan formed by prefix plus one suffix
@@ -229,7 +375,7 @@ func (s *search) candidate(prefix []core.Stage, j int, used alloc) float64 {
 // fits memory (directly or with re-computation).
 func (s *search) evaluate(stages []core.Stage) float64 {
 	p := &core.Plan{Model: s.m, Cluster: s.c, Stages: stages, GBS: s.gbs}
-	p.MicroBatch = core.ChooseMicroBatch(s.m, s.gbs)
+	p.MicroBatch = s.mb
 	if p.Validate() != nil {
 		return math.Inf(1)
 	}
@@ -249,10 +395,12 @@ func (s *search) evaluate(stages []core.Stage) float64 {
 			return l // prunable but not a feasible finalist
 		}
 	}
+	c := candidate{plan: p, analytic: l, recompute: recompute, seq: s.seq}
+	s.seq++
 	sig := p.SplitString() + "|" + p.ReplicaString() + "|" + placementSig(p)
-	if old, ok := s.cands[sig]; !ok || l < old.analytic {
-		s.cands[sig] = candidate{plan: p, analytic: l, recompute: recompute}
-		if len(s.cands) > 4096 {
+	if old, ok := s.cands[sig]; !ok || betterCand(c, old) {
+		s.cands[sig] = c
+		if len(s.cands) > maxCands {
 			s.compactCands()
 		}
 	}
@@ -269,7 +417,7 @@ func (s *search) compactCands() {
 	for k, v := range s.cands {
 		all = append(all, kv{k, v})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].v.analytic < all[j].v.analytic })
+	sort.Slice(all, func(i, j int) bool { return betterCand(all[i].v, all[j].v) })
 	for _, e := range all[len(all)/2:] {
 		delete(s.cands, e.k)
 	}
@@ -309,7 +457,7 @@ func (s *search) finalize(limit int) (*Result, error) {
 	for _, c := range s.cands {
 		list = append(list, c)
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].analytic < list[j].analytic })
+	sort.Slice(list, func(i, j int) bool { return betterCand(list[i], list[j]) })
 	if len(list) > limit {
 		kept := list[:limit:limit]
 		// The reference corners always get a simulator hearing: pure data
@@ -351,7 +499,12 @@ func (s *search) finalize(limit int) (*Result, error) {
 	if len(rs) == 0 {
 		return nil, fmt.Errorf("no feasible plan")
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].sim < rs[j].sim })
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].sim != rs[j].sim {
+			return rs[i].sim < rs[j].sim
+		}
+		return rs[i].seq < rs[j].seq
+	})
 	bestSim := rs[0].sim
 	pick := rs[0]
 	for _, r := range rs[1:] {

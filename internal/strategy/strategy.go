@@ -10,6 +10,7 @@ package strategy
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -40,6 +41,17 @@ type Options struct {
 	// Finalists bounds how many analytic-best candidates are re-ranked on
 	// the simulator. 0 means 24.
 	Finalists int
+
+	// Workers bounds the goroutines the planner fans out over first-stage
+	// split points (0 = GOMAXPROCS, 1 = fully sequential). The chosen plan
+	// is identical for every value: each branch searches isolated state and
+	// branch results merge in deterministic task order.
+	Workers int
+
+	// NoPrune disables the planner's branch-and-bound lower bound, the
+	// dominance memo and the slack cut, making the search exhaustive over
+	// the placement-policy space. Slow; meant for soundness testing.
+	NoPrune bool
 }
 
 // Canonical defaults substituted for zero-valued Options knobs.
@@ -48,6 +60,10 @@ const (
 	DefaultPruneSlack = 1.6
 	DefaultFinalists  = 24
 )
+
+// DefaultWorkers is the worker count substituted for Options.Workers == 0:
+// one search goroutine per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Normalize returns o with zero values replaced by the canonical defaults
 // (and GBS by defaultGBS), so an implicitly-defaulted and an explicitly-
@@ -64,6 +80,9 @@ func (o Options) Normalize(defaultGBS int) Options {
 	}
 	if o.Finalists <= 0 {
 		o.Finalists = DefaultFinalists
+	}
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers()
 	}
 	return o
 }

@@ -95,11 +95,12 @@ func (s stubStrategy) Plan(context.Context, *model.Model, hardware.Cluster, Opti
 // map keys built from Options stay well-behaved; set values pass through.
 func TestNormalize(t *testing.T) {
 	got := Options{PruneSlack: math.NaN()}.Normalize(64)
-	want := Options{GBS: 64, MaxStages: DefaultMaxStages, PruneSlack: DefaultPruneSlack, Finalists: DefaultFinalists}
+	want := Options{GBS: 64, MaxStages: DefaultMaxStages, PruneSlack: DefaultPruneSlack,
+		Finalists: DefaultFinalists, Workers: DefaultWorkers()}
 	if got != want {
 		t.Fatalf("Normalize = %+v, want %+v", got, want)
 	}
-	set := Options{GBS: 8, MaxStages: 2, PruneSlack: 1.1, Finalists: 3}
+	set := Options{GBS: 8, MaxStages: 2, PruneSlack: 1.1, Finalists: 3, Workers: 5, NoPrune: true}
 	if got := set.Normalize(64); got != set {
 		t.Fatalf("Normalize changed explicit options: %+v", got)
 	}
