@@ -174,6 +174,86 @@ func BenchmarkSimEngine(b *testing.B) {
 	}
 }
 
+// floodGraph expands one iteration of an 8-stage BERT-48 pipeline with M=512
+// micro-batches — an O(stages x M) task flood of ~15.4k tasks — for the
+// simulator-only benchmarks: the graph is built once, outside the timer, and
+// executed repeatedly.
+func floodGraph(b *testing.B, pol schedule.Policy) *sim.Graph {
+	b.Helper()
+	m := model.BERT48()
+	c := hardware.ConfigB(8)
+	p := baselines.GPipePlan(m, c, 512*m.ProfileBatch, 8)
+	g, err := schedule.BuildGraph(p, schedule.Options{Policy: pol, Recompute: true, M: 512, MemLimit: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSimGPipeFlood measures the event-driven engine alone on the GPipe
+// flood schedule (every micro-batch in flight, the engine's worst case).
+func BenchmarkSimGPipeFlood(b *testing.B) {
+	g := floodGraph(b, schedule.GPipe)
+	b.ResetTimer()
+	b.ReportMetric(float64(g.NumTasks()), "tasks")
+	for i := 0; i < b.N; i++ {
+		g.Run()
+	}
+}
+
+// BenchmarkSimGPipeFloodReference is BenchmarkSimGPipeFlood on the
+// pre-rewrite linear-scan engine: the before/after pair for BENCH_sim.json.
+func BenchmarkSimGPipeFloodReference(b *testing.B) {
+	g := floodGraph(b, schedule.GPipe)
+	b.ResetTimer()
+	b.ReportMetric(float64(g.NumTasks()), "tasks")
+	for i := 0; i < b.N; i++ {
+		g.RunReference()
+	}
+}
+
+// BenchmarkSimDapplePA measures the event-driven engine alone on the DAPPLE
+// early-backward schedule of the same pipeline.
+func BenchmarkSimDapplePA(b *testing.B) {
+	g := floodGraph(b, schedule.DapplePA)
+	b.ResetTimer()
+	b.ReportMetric(float64(g.NumTasks()), "tasks")
+	for i := 0; i < b.N; i++ {
+		g.Run()
+	}
+}
+
+// BenchmarkSimDapplePAReference is BenchmarkSimDapplePA on the pre-rewrite
+// linear-scan engine.
+func BenchmarkSimDapplePAReference(b *testing.B) {
+	g := floodGraph(b, schedule.DapplePA)
+	b.ResetTimer()
+	b.ReportMetric(float64(g.NumTasks()), "tasks")
+	for i := 0; i < b.N; i++ {
+		g.RunReference()
+	}
+}
+
+// BenchmarkSweeperResim measures one re-simulation through a Sweeper reusing
+// the task-graph buffers across the policy sweep (the Table VI inner loop),
+// against BenchmarkScheduleSim's build-from-scratch path.
+func BenchmarkSweeperResim(b *testing.B) {
+	m := model.BERT48()
+	c := hardware.ConfigB(4)
+	p := baselines.GPipePlan(m, c, 64, 4)
+	sw, err := schedule.NewSweeper(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pols := []schedule.Policy{schedule.DapplePA, schedule.GPipe, schedule.DapplePB}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Run(schedule.Options{Policy: pols[i%len(pols)], MemLimit: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRingAllReduce measures the real channel-based ring all-reduce
 // across 8 goroutine participants on 1M floats.
 func BenchmarkRingAllReduce(b *testing.B) {

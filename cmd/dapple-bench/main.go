@@ -28,7 +28,15 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	list := flag.Bool("list", false, "list experiment ids")
 	planFlags := cliutil.RegisterPlanFlags()
+	profFlags := cliutil.RegisterProfileFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, g := range experiments.All() {

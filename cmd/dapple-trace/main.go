@@ -35,7 +35,15 @@ func main() {
 		out       = flag.String("out", "", "write <out>.<policy>.json Chrome traces")
 	)
 	planFlags := cliutil.RegisterPlanFlags()
+	profFlags := cliutil.RegisterProfileFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	mod := dapple.ModelByName(*modelName)
 	if mod == nil {

@@ -45,7 +45,14 @@ func main() {
 		listStrats = flag.Bool("strategies", false, "list registered strategies and exit")
 	)
 	planFlags := cliutil.RegisterPlanFlags()
+	profFlags := cliutil.RegisterProfileFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 
 	if *listAll {
 		for _, m := range dapple.Zoo() {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -90,6 +92,65 @@ func (pf *PlanFlags) Apply(o strategy.Options) strategy.Options {
 	o.Workers = pf.Workers
 	o.NoPrune = pf.NoPrune
 	return o
+}
+
+// ProfileFlags holds the -cpuprofile/-memprofile values every dapple command
+// shares, so performance work can capture pprof data from any binary without
+// patching code.
+type ProfileFlags struct {
+	// CPUPath is the -cpuprofile value: the file receiving a CPU profile of
+	// everything between Start and the returned stop function.
+	CPUPath string
+	// MemPath is the -memprofile value: the file receiving a heap profile
+	// written (after a GC) by the stop function.
+	MemPath string
+}
+
+// RegisterProfileFlags registers -cpuprofile and -memprofile on the default
+// flag set and returns the struct the parsed values land in. Call before
+// flag.Parse.
+func RegisterProfileFlags() *ProfileFlags {
+	pf := &ProfileFlags{}
+	flag.StringVar(&pf.CPUPath, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&pf.MemPath, "memprofile", "", "write a heap profile to this file on exit")
+	return pf
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function (never nil) ends the CPU profile and writes the heap profile when
+// -memprofile was given; defer it around the measured work. Profiles are
+// written only on clean exits — error paths that os.Exit skip them.
+func (pf *ProfileFlags) Start() (func(), error) {
+	var cpu *os.File
+	if pf.CPUPath != "" {
+		f, err := os.Create(pf.CPUPath)
+		if err != nil {
+			return func() {}, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return func() {}, err
+		}
+		cpu = f
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if pf.MemPath != "" {
+			f, err := os.Create(pf.MemPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // RootContext returns the context commands should thread into planning and

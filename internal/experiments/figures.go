@@ -24,6 +24,7 @@ func Fig3(ctx context.Context, _ Options) *Report {
 	m := model.Synthetic(6, 10e-3, 16<<20, 64<<20, 8<<20)
 	c := hardware.ConfigB(3)
 	plan := baselines.GPipePlan(m, c, 7, 3)
+	sweep := schedule.MustSweeper(plan)
 
 	for _, v := range []struct {
 		name   string
@@ -32,7 +33,7 @@ func Fig3(ctx context.Context, _ Options) *Report {
 		if truncated(ctx, r) {
 			return r
 		}
-		res := schedule.MustRun(plan, schedule.Options{Policy: v.policy, M: 7, MemLimit: -1})
+		res := sweep.MustRun(schedule.Options{Policy: v.policy, M: 7, MemLimit: -1})
 		sec := fmt.Sprintf("%s (iteration %.1fms, stage0 peak %s):\n%s",
 			v.name, res.IterTime*1e3, stats.Bytes(res.PerStage[0].PeakMem),
 			trace.Gantt(res.Sim, 100))

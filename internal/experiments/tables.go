@@ -122,8 +122,9 @@ func Table4(ctx context.Context, opts Options) *Report {
 			r.Addf("%s: %v", name, err)
 			continue
 		}
-		pa := schedule.MustRun(pr.Plan, schedule.Options{Policy: schedule.DapplePA, Recompute: pr.NeedsRecompute})
-		pb := schedule.MustRun(pr.Plan, schedule.Options{Policy: schedule.DapplePB, Recompute: pr.NeedsRecompute})
+		sw := schedule.MustSweeper(pr.Plan)
+		pa := sw.MustRun(schedule.Options{Policy: schedule.DapplePA, Recompute: pr.NeedsRecompute})
+		pb := sw.MustRun(schedule.Options{Policy: schedule.DapplePB, Recompute: pr.NeedsRecompute})
 		r.Add(name,
 			fmt.Sprintf("%.3f", pr.Plan.ACR()),
 			fmt.Sprintf("%.1f", pa.Throughput()),
@@ -188,6 +189,12 @@ func Table6(ctx context.Context, _ Options) *Report {
 		Header: []string{"Schedule", "M", "Throughput(samples/s)", "AvgPeakMem", "OOM"}}
 	m := model.BERT48()
 	c := hardware.ConfigB(2)
+	// Every cell simulates the same 2-stage plan: the GBS passed to GPipePlan
+	// only scales with M while the stage partition and micro-batch size stay
+	// fixed, and the explicit Options.M override drives the simulated
+	// micro-batch count. One Sweeper therefore carries the whole Policy × M ×
+	// recompute sweep on reused task-graph buffers.
+	sweep := schedule.MustSweeper(baselines.GPipePlan(m, c, 2*m.ProfileBatch, 2))
 	type variant struct {
 		name      string
 		policy    schedule.Policy
@@ -207,8 +214,7 @@ func Table6(ctx context.Context, _ Options) *Report {
 			if truncated(ctx, r) {
 				return r
 			}
-			plan := baselines.GPipePlan(m, c, M*m.ProfileBatch, 2)
-			res := schedule.MustRun(plan, schedule.Options{Policy: v.policy, Recompute: v.recompute, M: M})
+			res := sweep.MustRun(schedule.Options{Policy: v.policy, Recompute: v.recompute, M: M})
 			oom := ""
 			if res.OOM {
 				oom = fmt.Sprintf("OOM(stage %d)", res.OOMStage)

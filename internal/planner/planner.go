@@ -32,6 +32,8 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"dapple/internal/baselines"
 	"dapple/internal/comm"
@@ -471,21 +473,55 @@ func (s *search) finalize(limit int) (*Result, error) {
 		list = kept
 	}
 
+	// Re-ranking runs policy A uniformly — the paper's planner selects
+	// partitions independently of the warmup policy; PB is recommended for
+	// the chosen plan afterwards when its ACR warrants it (§V-C). The K
+	// finalist simulations are independent, so they fan out over the same
+	// worker budget as the search (Options.Workers); outcomes land in a
+	// per-finalist slot and merge below in list order, so the chosen plan is
+	// identical for every worker count and goroutine interleaving.
+	type simOut struct {
+		res *schedule.Result
+		err error
+	}
+	outs := make([]simOut, len(list))
+	workers := s.workers
+	if workers > len(list) {
+		workers = len(list)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(list) || s.ctx.Err() != nil {
+					return
+				}
+				r, err := schedule.RunContext(s.ctx, list[i].plan, schedule.Options{
+					Policy:    schedule.DapplePA,
+					Recompute: list[i].recompute,
+				})
+				outs[i] = simOut{r, err}
+			}
+		}()
+	}
+	wg.Wait()
+
 	type ranked struct {
 		candidate
 		sim    float64
 		policy schedule.Policy
 	}
 	var rs []ranked
-	for _, c := range list {
-		// Re-ranking runs policy A uniformly — the paper's planner selects
-		// partitions independently of the warmup policy; PB is recommended
-		// for the chosen plan afterwards when its ACR warrants it (§V-C).
-		r, err := schedule.RunContext(s.ctx, c.plan, schedule.Options{
-			Policy:    schedule.DapplePA,
-			Recompute: c.recompute,
-		})
-		if err != nil {
+	for i, c := range list {
+		r, err := outs[i].res, outs[i].err
+		if err != nil || r == nil {
 			if s.ctx.Err() != nil {
 				return nil, s.ctx.Err()
 			}

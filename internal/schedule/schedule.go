@@ -9,6 +9,11 @@
 // (split-concat semantics, Fig. 8(a)); memory is accounted per physical
 // device (each replica holds the full stage parameters but only its slice of
 // activations).
+//
+// One-off simulations go through Run/RunContext. Sweeps over Policy × M ×
+// recompute of one plan should use a Sweeper, which reuses the task graph's
+// task, dependency and name buffers across runs instead of rebuilding them
+// from scratch.
 package schedule
 
 import (
@@ -111,7 +116,7 @@ func (r *Result) Throughput() float64 {
 
 // MemTrace returns the memory-over-time curve of stage i's devices.
 func (r *Result) MemTrace(i int) []sim.MemPoint {
-	return r.Sim.MemTrace[i]
+	return r.Sim.Trace(i)
 }
 
 // StageResource returns the simulator resource index of stage i's executor,
@@ -129,6 +134,82 @@ func RunContext(ctx context.Context, p *core.Plan, opts Options) (*Result, error
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	return runBuilder(ctx, newBuilder(p), opts)
+}
+
+// MustRun is Run for validated plans in examples and benches.
+func MustRun(p *core.Plan, opts Options) *Result {
+	r, err := Run(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// BuildGraph expands one simulated training iteration of the plan into its
+// simulator task graph without executing it — the entry point for simulator
+// microbenchmarks and timeline tooling that drive the engine directly.
+func BuildGraph(p *core.Plan, opts Options) (*sim.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(p)
+	m, limit := resolve(p, opts)
+	b.prepare(m, opts, limit)
+	b.build()
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: internal graph error: %w", err)
+	}
+	return b.g, nil
+}
+
+// Sweeper simulates many iterations of one plan while reusing the underlying
+// task graph: tasks, dependency lists, cached task names and interned
+// resources persist across runs, so a Policy × M × recompute sweep allocates
+// per-run results only. Results remain byte-identical to Run's. A Sweeper is
+// not safe for concurrent use.
+type Sweeper struct {
+	b *builder
+}
+
+// NewSweeper validates the plan once and returns a Sweeper bound to it.
+func NewSweeper(p *core.Plan) (*Sweeper, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sweeper{b: newBuilder(p)}, nil
+}
+
+// MustSweeper is NewSweeper for validated plans in examples and benches.
+func MustSweeper(p *core.Plan) *Sweeper {
+	s, err := NewSweeper(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run simulates one iteration of the Sweeper's plan under the given options.
+func (s *Sweeper) Run(opts Options) (*Result, error) {
+	return s.RunContext(context.Background(), opts)
+}
+
+// MustRun is Run for validated plans in examples and benches.
+func (s *Sweeper) MustRun(opts Options) *Result {
+	r, err := s.Run(opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RunContext is Run under a context.
+func (s *Sweeper) RunContext(ctx context.Context, opts Options) (*Result, error) {
+	return runBuilder(ctx, s.b, opts)
+}
+
+// resolve derives the effective micro-batch count and memory limit.
+func resolve(p *core.Plan, opts Options) (int, int64) {
 	m := p.M()
 	if opts.M > 0 {
 		m = opts.M
@@ -140,8 +221,15 @@ func RunContext(ctx context.Context, p *core.Plan, opts Options) (*Result, error
 	if limit == 0 {
 		limit = p.Cluster.DeviceMemory
 	}
+	return m, limit
+}
 
-	b := newBuilder(p, m, opts, limit)
+// runBuilder expands one iteration on the (possibly reused) builder, executes
+// it, and assembles the Result.
+func runBuilder(ctx context.Context, b *builder, opts Options) (*Result, error) {
+	p := b.p
+	m, limit := resolve(p, opts)
+	b.prepare(m, opts, limit)
 	b.build()
 	if err := b.g.Validate(); err != nil {
 		return nil, fmt.Errorf("schedule: internal graph error: %w", err)
@@ -160,11 +248,12 @@ func RunContext(ctx context.Context, p *core.Plan, opts Options) (*Result, error
 		Sim:      sr,
 		OOMStage: -1,
 		stageRes: b.stageRes,
+		PerStage: make([]StageStats, 0, len(p.Stages)),
 	}
 	var memSum float64
 	var busy, span float64
 	for i := range p.Stages {
-		peak := sr.PeakMem[i]
+		peak := sr.Peak(i)
 		st := StageStats{
 			PeakMem:     peak,
 			StaticMem:   b.static[i],
@@ -194,16 +283,10 @@ func RunContext(ctx context.Context, p *core.Plan, opts Options) (*Result, error
 	return res, nil
 }
 
-// MustRun is Run for validated plans in examples and benches.
-func MustRun(p *core.Plan, opts Options) *Result {
-	r, err := Run(p, opts)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
-// builder accumulates the task graph for one iteration.
+// builder accumulates the task graph for one iteration. It outlives a single
+// build when owned by a Sweeper: prepare rewinds the graph and resizes the
+// per-micro-batch tables without discarding their capacity, and task names
+// are cached so sweeps do not re-format identical strings.
 type builder struct {
 	p     *core.Plan
 	m     int
@@ -215,21 +298,39 @@ type builder struct {
 	linkF    []int
 	linkB    []int
 
-	// per stage
+	// per stage, fixed by the plan
 	static []int64 // params + optimizer + workspace, per device
 	perMB  []int64 // retained activation bytes per micro-batch per device
 	stash  []int64 // boundary stash per micro-batch per device (recompute)
+
+	// per stage, per build
 	warmup []int
 	fwd    [][]sim.TaskID // [stage][m]
 	bwd    [][]sim.TaskID
 	commF  [][]sim.TaskID
 	commB  [][]sim.TaskID
+
+	// cached task names, grown on demand: names[kind][stage][mb]
+	names    [4][][]string
+	initName []string
+	arName   []string
 }
 
-func newBuilder(p *core.Plan, m int, opts Options, limit int64) *builder {
+// name-table kinds, indexed into builder.names.
+const (
+	nameFwd = iota
+	nameBwd
+	nameCommF
+	nameCommB
+)
+
+// nameFormats renders task names per kind as (micro-batch, stage).
+var nameFormats = [4]string{"F%d.s%d", "B%d.s%d", "CF%d.s%d", "CB%d.s%d"}
+
+func newBuilder(p *core.Plan) *builder {
 	s := len(p.Stages)
 	b := &builder{
-		p: p, m: m, opts: opts, limit: limit,
+		p:        p,
 		g:        sim.NewGraph(),
 		stageRes: make([]int, s),
 		linkF:    make([]int, s),
@@ -242,22 +343,55 @@ func newBuilder(p *core.Plan, m int, opts Options, limit int64) *builder {
 		bwd:      make([][]sim.TaskID, s),
 		commF:    make([][]sim.TaskID, s),
 		commB:    make([][]sim.TaskID, s),
+		initName: make([]string, s),
+		arName:   make([]string, s),
 	}
+	for k := range b.names {
+		b.names[k] = make([][]string, s)
+	}
+	// Resources are interned once; their indices survive graph resets.
 	for i := range p.Stages {
 		b.stageRes[i] = b.g.Resource(fmt.Sprintf("stage%d", i))
 		if i < s-1 {
 			b.linkF[i] = b.g.Resource(fmt.Sprintf("link%d.fwd", i))
 			b.linkB[i] = b.g.Resource(fmt.Sprintf("link%d.bwd", i))
 		}
-		b.fwd[i] = make([]sim.TaskID, m)
-		b.bwd[i] = make([]sim.TaskID, m)
-		b.commF[i] = make([]sim.TaskID, m)
-		b.commB[i] = make([]sim.TaskID, m)
+		b.initName[i] = fmt.Sprintf("init.s%d", i)
+		b.arName[i] = fmt.Sprintf("AR.s%d", i)
 	}
+	b.stageMemory()
 	return b
 }
 
-// stageMemory fills static/perMB/stash for every stage.
+// prepare rewinds the builder for one build of m micro-batches: the graph's
+// tasks are cleared (buffers kept), the per-micro-batch ID tables resized,
+// and the name cache extended if m grew past anything seen before.
+func (b *builder) prepare(m int, opts Options, limit int64) {
+	b.m, b.opts, b.limit = m, opts, limit
+	b.g.Reset()
+	for i := range b.p.Stages {
+		b.fwd[i] = resizeIDs(b.fwd[i], m)
+		b.bwd[i] = resizeIDs(b.bwd[i], m)
+		b.commF[i] = resizeIDs(b.commF[i], m)
+		b.commB[i] = resizeIDs(b.commB[i], m)
+		for k := range b.names {
+			for mb := len(b.names[k][i]); mb < m; mb++ {
+				b.names[k][i] = append(b.names[k][i], fmt.Sprintf(nameFormats[k], mb, i))
+			}
+		}
+	}
+}
+
+// resizeIDs returns ids with length m, reusing capacity when possible.
+func resizeIDs(ids []sim.TaskID, m int) []sim.TaskID {
+	if cap(ids) >= m {
+		return ids[:m]
+	}
+	return make([]sim.TaskID, m)
+}
+
+// stageMemory fills static/perMB/stash for every stage. All three depend only
+// on the plan, so the builder computes them once.
 func (b *builder) stageMemory() {
 	p := b.p
 	for i, s := range p.Stages {
@@ -340,12 +474,11 @@ func (b *builder) warmupDepth(i int) int {
 
 func (b *builder) build() {
 	p := b.p
-	b.stageMemory()
 
 	// Static allocations present for the whole iteration.
 	for i := range p.Stages {
 		b.g.Add(sim.Task{
-			Name: fmt.Sprintf("init.s%d", i), Kind: "init",
+			Name: b.initName[i], Kind: "init",
 			Resource: sim.NoResource, MemDevice: i, AllocBytes: b.static[i],
 		})
 	}
@@ -364,7 +497,7 @@ func (b *builder) build() {
 				fAlloc = b.perMB[i]
 			}
 			b.fwd[i][m] = b.g.Add(sim.Task{
-				Name: fmt.Sprintf("F%d.s%d", m, i), Kind: "fwd",
+				Name: b.names[nameFwd][i][m], Kind: "fwd",
 				Resource: b.stageRes[i], Duration: f,
 				MemDevice: i, AllocBytes: fAlloc, Priority: m,
 			})
@@ -376,7 +509,7 @@ func (b *builder) build() {
 				bFree = b.perMB[i]
 			}
 			b.bwd[i][m] = b.g.Add(sim.Task{
-				Name: fmt.Sprintf("B%d.s%d", m, i), Kind: "bwd",
+				Name: b.names[nameBwd][i][m], Kind: "bwd",
 				Resource: b.stageRes[i], Duration: bw,
 				MemDevice: i, AllocBytes: bAlloc, FreeBytes: bFree, Priority: m,
 			})
@@ -390,14 +523,14 @@ func (b *builder) build() {
 		ct := p.CrossStageTime(i)
 		for m := 0; m < b.m; m++ {
 			b.commF[i][m] = b.g.Add(sim.Task{
-				Name: fmt.Sprintf("CF%d.s%d", m, i), Kind: "comm",
+				Name: b.names[nameCommF][i][m], Kind: "comm",
 				Resource: b.linkF[i], Duration: ct, Priority: m,
 			})
 			b.g.AddDep(b.commF[i][m], b.fwd[i][m])
 			b.g.AddDep(b.fwd[i+1][m], b.commF[i][m])
 
 			b.commB[i][m] = b.g.Add(sim.Task{
-				Name: fmt.Sprintf("CB%d.s%d", m, i), Kind: "comm",
+				Name: b.names[nameCommB][i][m], Kind: "comm",
 				Resource: b.linkB[i], Duration: ct, Priority: m,
 			})
 			b.g.AddDep(b.commB[i][m], b.bwd[i+1][m])
@@ -429,7 +562,7 @@ func (b *builder) build() {
 	// Gradient sync + weight update per stage at iteration end (Fig. 10).
 	for i := range p.Stages {
 		ar := b.g.Add(sim.Task{
-			Name: fmt.Sprintf("AR.s%d", i), Kind: "allreduce",
+			Name: b.arName[i], Kind: "allreduce",
 			Resource: b.stageRes[i], Duration: p.StageAllReduceTime(i) + applyTime,
 		})
 		for m := 0; m < b.m; m++ {

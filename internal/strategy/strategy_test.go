@@ -47,9 +47,12 @@ func TestEvaluateRecomputeFallback(t *testing.T) {
 	}
 
 	// The GPipe flood retains all M=8 micro-batches of 4 layers x 256 MiB
-	// (8 GiB on stage 0); a 2 GiB budget overflows plainly but fits the
-	// boundary-stash + one-live-micro-batch footprint of re-computation.
-	rc, err := Evaluate(ctx, "test", twoStagePlan(2<<30), schedule.GPipe, Options{})
+	// (8 GiB on stage 0); a 3 GiB budget overflows plainly but fits
+	// re-computation's footprint of boundary stashes plus two live
+	// micro-batches — two, not one, because backward m rematerializes at the
+	// instant backward m+1 frees, and allocations count before frees at
+	// equal timestamps.
+	rc, err := Evaluate(ctx, "test", twoStagePlan(3<<30), schedule.GPipe, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
