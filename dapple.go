@@ -45,9 +45,17 @@
 // schedules with byte-accurate memory accounting on a discrete-event cluster
 // simulator.
 //
-// A real concurrent mini-runtime (goroutines as devices, channels as links)
-// lives in internal/train and backs the gradient-equivalence guarantees; see
-// examples/training.
+// # Real execution
+//
+// Plans are executable, not only simulable. ProfileNetwork bridges a real
+// Network into a planner Model (one profiled layer per network layer), and
+// Engine.NewExecutor / Engine.Execute carve the planned stages into one
+// worker goroutine per device, move activations and gradients over channel
+// links with split/concat row redistribution at replication boundaries, and
+// synchronize replicated stages with a real ring all-reduce. Gradients of
+// any executed plan match sequential training to float tolerance, and
+// VerifyExecution asserts the real per-device event order equals the
+// simulated schedule of the same plan; see examples/training.
 package dapple
 
 import (

@@ -48,7 +48,8 @@ type Engine struct {
 // boundary. Callbacks run synchronously on the calling goroutine.
 type Progress struct {
 	// Phase is one of "plan.start", "plan.cache", "plan.coalesced",
-	// "plan.done", "plan.error", "sim.start", "sim.done", "sim.error".
+	// "plan.done", "plan.error", "sim.start", "sim.done", "sim.error",
+	// "exec.start", "exec.done", "exec.error".
 	Phase    string
 	Strategy string
 	Model    string

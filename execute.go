@@ -1,0 +1,123 @@
+package dapple
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"dapple/internal/nn"
+	"dapple/internal/trace"
+	"dapple/internal/train"
+)
+
+// Re-exported real-runtime types: the concurrent mini-runtime (goroutines as
+// devices, channels as links) that executes planner Plans on genuine
+// gradient math.
+type (
+	// Network is a real layer stack the runtime trains (package nn).
+	Network = nn.Network
+	// Optimizer updates parameters from accumulated gradients.
+	Optimizer = nn.Optimizer
+	// TrainBatch is one micro-batch of classification examples.
+	TrainBatch = train.Batch
+	// Executor runs a planner Plan on a real Network as a multi-goroutine
+	// pipeline with channel links, stage replication and ring all-reduce.
+	Executor = train.Executor
+	// ExecOptions configure plan-driven execution (policy, re-computation,
+	// warmup memory limit, tracing).
+	ExecOptions = train.ExecOptions
+	// ExecResult reports one really-executed training iteration.
+	ExecResult = train.ExecResult
+)
+
+// NewMLP builds an n-hidden-layer perceptron with ReLU activations and a
+// linear head (dims like [in, h1, ..., out]), deterministically initialized
+// from seed — the runtime's standard test network.
+func NewMLP(dims []int, seed int64) *Network { return nn.MLP(dims, seed) }
+
+// SGDOptimizer returns plain stochastic gradient descent at the given
+// learning rate.
+func SGDOptimizer(lr float64) Optimizer { return nn.SGD{LR: lr} }
+
+// AdamOptimizer returns Adam with standard defaults at the given learning
+// rate.
+func AdamOptimizer(lr float64) Optimizer { return nn.NewAdam(lr) }
+
+// ProfileNetwork derives a planner-ready Model from a real Network: one
+// model layer per network layer, with analytic compute times and measured
+// activation/parameter bytes at profileBatch rows of inDim features. The
+// returned model's layer indices map one-to-one onto the network's layers,
+// so any Plan an Engine produces for it is executable — this is the bridge
+// that closes the paper's planner→runtime loop.
+func ProfileNetwork(name string, net *Network, inDim, profileBatch, defaultGBS int) (*Model, error) {
+	return train.ProfileNetwork(name, net, inDim, profileBatch, defaultGBS)
+}
+
+// NewExecutor builds a plan-driven executor for a planning result: the
+// network is carved into the plan's stages (one replica per device) and the
+// strategy's recommended schedule policy and re-computation setting are
+// applied, or the engine's WithPolicy override when one is set. The executor
+// can then Step any number of training iterations.
+func (e *Engine) NewExecutor(pr *PlanResult, net *Network, optFactory func() Optimizer) (*Executor, error) {
+	if pr == nil {
+		return nil, errors.New("dapple: NewExecutor of a nil result")
+	}
+	pol := pr.Policy
+	if e.hasPolicy {
+		pol = e.policy
+	}
+	return train.NewExecutor(pr.Plan, net, optFactory, ExecOptions{
+		Policy: pol, Recompute: pr.NeedsRecompute,
+	})
+}
+
+// Execute really executes one training iteration of the planning result on
+// net under ctx: plan-driven stage carving, concurrent pipeline workers,
+// gradient all-reduce, weight update. It is the one-shot form of NewExecutor
+// followed by StepContext; construct an Executor directly to amortize stage
+// carving over many iterations.
+func (e *Engine) Execute(ctx context.Context, pr *PlanResult, net *Network, micros []TrainBatch, optFactory func() Optimizer) (*ExecResult, error) {
+	if pr == nil {
+		return nil, errors.New("dapple: Execute of a nil result")
+	}
+	start := time.Now()
+	pe := e.progressBase("exec.start", pr.Plan.GBS)
+	if pr.Plan.Model != nil {
+		pe.Model = pr.Plan.Model.Name
+	}
+	pe.Cluster = pr.Plan.Cluster.Name
+	e.emit(pe)
+	ex, err := e.NewExecutor(pr, net, optFactory)
+	var res *ExecResult
+	if err == nil {
+		res, err = ex.StepContext(ctx, micros)
+	}
+	pe.Elapsed = time.Since(start)
+	if err != nil {
+		pe.Phase, pe.Err = "exec.error", err
+	} else {
+		pe.Phase = "exec.done"
+	}
+	e.emit(pe)
+	return res, err
+}
+
+// ExecGantt renders a really-executed iteration's span trace as an ASCII
+// timeline, one row per device — the real-runtime counterpart of Gantt.
+func ExecGantt(res *ExecResult, width int) string {
+	if res == nil || res.Trace == nil {
+		return ""
+	}
+	return trace.Gantt(res.Trace, width)
+}
+
+// VerifyExecution checks the sim-vs-real contract: every device's event
+// order in the really-executed trace equals the simulator's schedule of the
+// same plan under the same policy, re-computation setting and micro-batch
+// count. It returns nil when they match.
+func VerifyExecution(pr *PlanResult, simRes *ScheduleResult, execRes *ExecResult) error {
+	if pr == nil {
+		return errors.New("dapple: VerifyExecution of a nil plan result")
+	}
+	return train.VerifyOrder(pr.Plan, simRes, execRes)
+}

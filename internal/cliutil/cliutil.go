@@ -94,6 +94,14 @@ func (pf *PlanFlags) Apply(o strategy.Options) strategy.Options {
 	return o
 }
 
+// RegisterSeedFlag registers the shared -seed flag on the default flag set
+// and returns the destination of the parsed value. Call before flag.Parse.
+// The seed drives synthetic-data generation and weight initialization in the
+// commands and examples, so runs are reproducible end to end.
+func RegisterSeedFlag() *int64 {
+	return flag.Int64("seed", 42, "RNG seed for synthetic data and weight initialization (reproducible runs)")
+}
+
 // ProfileFlags holds the -cpuprofile/-memprofile values every dapple command
 // shares, so performance work can capture pprof data from any binary without
 // patching code.

@@ -239,8 +239,21 @@ func (n *Network) Clone() *Network {
 	return out
 }
 
+// NumLayers returns the number of layers, the unit pipeline cuts index.
+func (n *Network) NumLayers() int { return len(n.Layers) }
+
 // Slice returns a network view over layers [lo, hi) sharing the same layer
 // objects (used to carve pipeline stages out of a master network).
 func (n *Network) Slice(lo, hi int) *Network {
 	return &Network{Layers: n.Layers[lo:hi]}
+}
+
+// SliceClone deep-copies layers [lo, hi) into an independent stage network:
+// parameters are copied and gradients zeroed, so per-replica training state
+// never aliases the master network.
+func (n *Network) SliceClone(lo, hi int) *Network {
+	if lo < 0 || hi > len(n.Layers) || lo > hi {
+		panic(fmt.Sprintf("nn: slice [%d,%d) of %d layers", lo, hi, len(n.Layers)))
+	}
+	return n.Slice(lo, hi).Clone()
 }

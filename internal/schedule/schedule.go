@@ -446,6 +446,21 @@ func (b *builder) memCap(i int) int {
 	return d
 }
 
+// computeWarmups fills b.warmup with the policy's per-stage warmup depths.
+// Depths must be non-increasing along the pipeline: a later stage holding
+// more in-flight micro-batches than its predecessor deadlocks the strict
+// interleave (its extra warmup forwards wait on inputs the predecessor will
+// only produce after backwards the later stage has not sent yet), so
+// memory-capped depths are clamped front to back.
+func (b *builder) computeWarmups() {
+	for i := range b.p.Stages {
+		b.warmup[i] = b.warmupDepth(i)
+		if i > 0 && b.warmup[i] > b.warmup[i-1] {
+			b.warmup[i] = b.warmup[i-1]
+		}
+	}
+}
+
 // warmupDepth returns K_i for the policy.
 func (b *builder) warmupDepth(i int) int {
 	s := len(b.p.Stages)
@@ -539,20 +554,10 @@ func (b *builder) build() {
 	}
 
 	// Control dependencies: per-stage execution order per policy (§V-C),
-	// realized exactly like the TF control edges of Fig. 11. Warmup depths
-	// must be non-increasing along the pipeline: a later stage holding more
-	// in-flight micro-batches than its predecessor deadlocks the strict
-	// interleave (its extra warmup forwards wait on inputs the predecessor
-	// will only produce after backwards the later stage has not sent yet),
-	// so memory-capped depths are clamped front to back.
+	// realized exactly like the TF control edges of Fig. 11.
+	b.computeWarmups()
 	for i := range p.Stages {
-		b.warmup[i] = b.warmupDepth(i)
-		if i > 0 && b.warmup[i] > b.warmup[i-1] {
-			b.warmup[i] = b.warmup[i-1]
-		}
-	}
-	for i := range p.Stages {
-		order := stageOrder(b.opts.Policy, b.m, b.warmup[i])
+		order := StageOrder(b.opts.Policy, b.m, b.warmup[i])
 		for j := 1; j < len(order); j++ {
 			prev, cur := order[j-1], order[j]
 			b.g.AddDep(b.task(i, cur), b.task(i, prev))
@@ -571,30 +576,37 @@ func (b *builder) build() {
 	}
 }
 
-// op is one step of a stage's execution order.
-type op struct {
-	backward bool
-	m        int
+// Op is one step of a stage's execution order: the forward (Backward false)
+// or backward (Backward true) pass of micro-batch M. The simulator's schedule
+// builder and the real plan-driven executor (internal/train) both consume the
+// same Op sequences, which is what makes their per-stage event orders
+// comparable by construction.
+type Op struct {
+	// Backward selects the backward pass; false is the forward pass.
+	Backward bool
+	// M is the micro-batch index.
+	M int
 }
 
-func (b *builder) task(stage int, o op) sim.TaskID {
-	if o.backward {
-		return b.bwd[stage][o.m]
+func (b *builder) task(stage int, o Op) sim.TaskID {
+	if o.Backward {
+		return b.bwd[stage][o.M]
 	}
-	return b.fwd[stage][o.m]
+	return b.fwd[stage][o.M]
 }
 
-// stageOrder lists a stage's FW/BW sequence under the policy: GPipe runs all
-// forwards then backwards in reverse; DAPPLE runs k warmup forwards then
-// strictly interleaves one backward with one forward (Fig. 3(b)).
-func stageOrder(p Policy, m, k int) []op {
-	var order []op
+// StageOrder lists a stage's FW/BW sequence for m micro-batches under the
+// policy: GPipe runs all forwards then backwards in reverse; DAPPLE runs k
+// warmup forwards then strictly interleaves one backward with one forward
+// (Fig. 3(b)). k is ignored for GPipe and clamped to [1, m] otherwise.
+func StageOrder(p Policy, m, k int) []Op {
+	var order []Op
 	if p == GPipe {
 		for i := 0; i < m; i++ {
-			order = append(order, op{false, i})
+			order = append(order, Op{false, i})
 		}
 		for i := m - 1; i >= 0; i-- {
-			order = append(order, op{true, i})
+			order = append(order, Op{true, i})
 		}
 		return order
 	}
@@ -605,15 +617,34 @@ func stageOrder(p Policy, m, k int) []op {
 		k = 1
 	}
 	for i := 0; i < k; i++ {
-		order = append(order, op{false, i})
+		order = append(order, Op{false, i})
 	}
 	next := k
 	for i := 0; i < m; i++ {
-		order = append(order, op{true, i})
+		order = append(order, Op{true, i})
 		if next < m {
-			order = append(order, op{false, next})
+			order = append(order, Op{false, next})
 			next++
 		}
 	}
 	return order
+}
+
+// WarmupDepths returns the per-stage warmup depth K_i one iteration of p
+// under opts uses: the policy's depth, capped by how many micro-batches of
+// retained state fit device memory, then clamped front to back so depths are
+// non-increasing along the pipeline (the deadlock-freedom condition of the
+// strict interleave). The real plan-driven executor derives its warmup from
+// this same code path, so real and simulated schedules agree exactly.
+func WarmupDepths(p *core.Plan, opts Options) ([]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(p)
+	b.opts = opts
+	b.m, b.limit = resolve(p, opts)
+	b.computeWarmups()
+	out := make([]int, len(b.warmup))
+	copy(out, b.warmup)
+	return out, nil
 }

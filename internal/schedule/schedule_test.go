@@ -25,8 +25,8 @@ func straightPlan(s, layersPerStage, gbs int) *core.Plan {
 }
 
 func TestStageOrderGPipe(t *testing.T) {
-	order := stageOrder(GPipe, 3, 3)
-	want := []op{{false, 0}, {false, 1}, {false, 2}, {true, 2}, {true, 1}, {true, 0}}
+	order := StageOrder(GPipe, 3, 3)
+	want := []Op{{false, 0}, {false, 1}, {false, 2}, {true, 2}, {true, 1}, {true, 0}}
 	if len(order) != len(want) {
 		t.Fatalf("len %d", len(order))
 	}
@@ -38,8 +38,8 @@ func TestStageOrderGPipe(t *testing.T) {
 }
 
 func TestStageOrderDapple(t *testing.T) {
-	order := stageOrder(DapplePA, 5, 2)
-	want := []op{{false, 0}, {false, 1}, {true, 0}, {false, 2}, {true, 1}, {false, 3},
+	order := StageOrder(DapplePA, 5, 2)
+	want := []Op{{false, 0}, {false, 1}, {true, 0}, {false, 2}, {true, 1}, {false, 3},
 		{true, 2}, {false, 4}, {true, 3}, {true, 4}}
 	if len(order) != len(want) {
 		t.Fatalf("len %d, want %d", len(order), len(want))
@@ -58,7 +58,7 @@ func TestStageOrderProperty(t *testing.T) {
 		m := int(m8%20) + 1
 		k := int(k8%10) + 1
 		pol := Policy(pol8 % 3)
-		order := stageOrder(pol, m, k)
+		order := StageOrder(pol, m, k)
 		if len(order) != 2*m {
 			return false
 		}
@@ -66,17 +66,17 @@ func TestStageOrderProperty(t *testing.T) {
 		seenB := map[int]int{}
 		lastF := -1
 		for i, o := range order {
-			if o.backward {
-				seenB[o.m]++
-				if _, ok := seenF[o.m]; !ok {
+			if o.Backward {
+				seenB[o.M]++
+				if _, ok := seenF[o.M]; !ok {
 					return false // backward before forward
 				}
 			} else {
-				seenF[o.m] = i
-				if o.m <= lastF {
+				seenF[o.M] = i
+				if o.M <= lastF {
 					return false // forwards out of order
 				}
-				lastF = o.m
+				lastF = o.M
 			}
 		}
 		return len(seenF) == m && len(seenB) == m

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderResultShape(t *testing.T) {
+	r := NewRecorder()
+	a := r.Resource("dev0")
+	b := r.Resource("dev1")
+	if r.Resource("dev0") != a {
+		t.Fatal("Resource must intern")
+	}
+	r.Record(a, "F0.s0", "fwd", 0.0, 1.0)
+	r.Record(b, "F0.s1", "fwd", 0.5, 2.0)
+	r.Record(a, "B0.s0", "bwd", 1.0, 3.5)
+	r.Record(b, "B0.s1", "bwd", 2.0, 3.0)
+
+	res := r.Result()
+	if len(res.Spans) != 4 {
+		t.Fatalf("got %d spans", len(res.Spans))
+	}
+	if res.Makespan != 3.5 {
+		t.Fatalf("makespan %g", res.Makespan)
+	}
+	if res.BusyTime[a] != 3.5 || res.BusyTime[b] != 2.5 {
+		t.Fatalf("busy %v", res.BusyTime)
+	}
+	if res.ResourceIndex("dev1") != b || res.ResourceIndex("nope") != -1 {
+		t.Fatal("ResourceIndex lookup failed")
+	}
+	// Spans are merged in start order with per-resource order preserved.
+	for i := 1; i < len(res.Spans); i++ {
+		if res.Spans[i].Start < res.Spans[i-1].Start {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+	var devA []string
+	for _, s := range res.Spans {
+		if s.Resource == a {
+			devA = append(devA, s.Name)
+		}
+	}
+	if strings.Join(devA, ",") != "F0.s0,B0.s0" {
+		t.Fatalf("per-resource order broken: %v", devA)
+	}
+	// The recorded result renders through the same Gantt path as simulated
+	// results.
+	if g := Gantt(res, 40); !strings.Contains(g, "dev0") {
+		t.Fatalf("gantt missing resource row:\n%s", g)
+	}
+}

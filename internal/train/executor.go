@@ -1,0 +1,521 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dapple/internal/core"
+	"dapple/internal/nn"
+	"dapple/internal/schedule"
+	"dapple/internal/sim"
+	"dapple/internal/tensor"
+	"dapple/internal/trace"
+)
+
+// errAborted is returned by workers unblocked by the step's abort channel;
+// StepContext replaces it with the first real failure (or ctx.Err()).
+var errAborted = errors.New("train: step aborted")
+
+// ExecOptions configure plan-driven execution.
+type ExecOptions struct {
+	// Policy selects the micro-batch schedule. It is the simulator's policy
+	// type (schedule.GPipe floods, schedule.DapplePA/DapplePB run early
+	// backward), so one plan drives both runtimes identically.
+	Policy schedule.Policy
+
+	// Recompute stashes only each stage's input and re-runs the forward pass
+	// during backward (§III re-computation).
+	Recompute bool
+
+	// MemLimit bounds the per-device retained state used to derive warmup
+	// depths (0 = the plan cluster's device memory, negative = unlimited),
+	// mirroring schedule.Options.MemLimit so real warmup matches simulated.
+	MemLimit int64
+
+	// NoTrace skips span recording, for benchmarks measuring pure execution.
+	NoTrace bool
+}
+
+// ExecResult reports one really-executed training iteration of a plan.
+type ExecResult struct {
+	// Loss is the micro-batch-averaged cross-entropy of the iteration.
+	Loss float64
+	// M is the number of micro-batches executed.
+	M int
+	// Warmup is the per-stage early-backward depth K_i actually used; it is
+	// derived through schedule.WarmupDepths and therefore always equals the
+	// simulator's for the same plan and options.
+	Warmup []int
+	// MaxStash is the peak number of concurrently stashed micro-batches per
+	// stage (identical on every replica of a stage).
+	MaxStash []int
+	// MaxStashBytes is the peak stashed activation volume on any single
+	// device of each stage.
+	MaxStashBytes []int64
+	// WallTime is the wall-clock duration of the step in seconds.
+	WallTime float64
+	// Trace holds the real-execution spans in the simulator's result shape
+	// (resources "s<stage>.d<device>", task names "F<m>.s<i>", "B<m>.s<i>",
+	// "AR.s<i>"), directly comparable to a schedule.Result's spans. Nil when
+	// ExecOptions.NoTrace is set.
+	Trace *sim.Result
+}
+
+// Executor runs a planner core.Plan on a real nn.Network: every device of
+// every stage becomes one worker goroutine executing the plan's layer range
+// on its row slice of each micro-batch, stage boundaries are channel links
+// with split/concat row redistribution (§V-B2), replicated stages synchronize
+// gradients with a real ring all-reduce, and the whole step is recorded as a
+// span trace comparable to the simulator's. It is the runtime half of the
+// paper's workflow: the planner's output is executed, not only simulated.
+//
+// An Executor is not safe for concurrent Steps; gradients from any executed
+// plan match SequentialStep on the unpartitioned network to float tolerance.
+type Executor struct {
+	plan *core.Plan
+	opts ExecOptions
+
+	stages []*estage
+}
+
+// estage is one pipeline stage of an Executor: the carved layer range cloned
+// per replica, plus per-replica optimizers.
+type estage struct {
+	lo, hi int
+	nets   []*nn.Network
+	opts   []nn.Optimizer
+}
+
+// NewExecutor carves master into the plan's stages (one deep-copied network
+// and one optimizer per replica device; master keeps the reference weights)
+// and validates that the plan's profiled layers map one-to-one onto the
+// network's layers.
+func NewExecutor(p *core.Plan, master *nn.Network, optFactory func() nn.Optimizer, opts ExecOptions) (*Executor, error) {
+	if p == nil {
+		return nil, fmt.Errorf("train: executor of a nil plan")
+	}
+	if master == nil {
+		return nil, fmt.Errorf("train: executor of a nil network")
+	}
+	if optFactory == nil {
+		return nil, fmt.Errorf("train: executor needs an optimizer factory")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.CompatibleWithLayers(master.NumLayers()); err != nil {
+		return nil, err
+	}
+	e := &Executor{plan: p, opts: opts, stages: make([]*estage, 0, len(p.Stages))}
+	for _, s := range p.Stages {
+		st := &estage{lo: s.Lo, hi: s.Hi}
+		for r := 0; r < s.Replicas(); r++ {
+			st.nets = append(st.nets, master.SliceClone(s.Lo, s.Hi))
+			st.opts = append(st.opts, optFactory())
+		}
+		e.stages = append(e.stages, st)
+	}
+	return e, nil
+}
+
+// ExecutePlan carves master by p, executes one training iteration over the
+// micro-batches under ctx, and applies synchronized updates — the one-shot
+// form of NewExecutor followed by StepContext.
+func ExecutePlan(ctx context.Context, p *core.Plan, master *nn.Network, micros []Batch, optFactory func() nn.Optimizer, opts ExecOptions) (*ExecResult, error) {
+	e, err := NewExecutor(p, master, optFactory, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.StepContext(ctx, micros)
+}
+
+// Plan returns the plan the executor realizes.
+func (e *Executor) Plan() *core.Plan { return e.plan }
+
+// deviceResource names the real-trace resource of stage's device dev; the
+// sim-vs-real tooling resolves per-device span sequences by this name.
+func deviceResource(stage, dev int) string { return fmt.Sprintf("s%d.d%d", stage, dev) }
+
+// NumStages returns the stage count.
+func (e *Executor) NumStages() int { return len(e.stages) }
+
+// StageParams returns the parameters of stage i's replica r, for equivalence
+// checks against a reference network.
+func (e *Executor) StageParams(i, r int) []nn.Param { return e.stages[i].nets[r].Params() }
+
+// stepState carries one Step's shared runtime: micro-batches, the link
+// layer, warmup depths, trace recording, and abort plumbing.
+type stepState struct {
+	micros []Batch
+	rows   int
+	m      int
+	warmup []int
+	bounds []*boundary
+	ars    []*arGroup
+
+	rec   *trace.Recorder // nil when tracing is off
+	resID [][]int         // recorder resource per [stage][replica]
+
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	lossParts []float64
+	maxStash  [][]int
+	maxBytes  [][]int64
+}
+
+// now returns the recorder clock, or 0 when tracing is off.
+func (ss *stepState) now() float64 {
+	if ss.rec == nil {
+		return 0
+	}
+	return ss.rec.Now()
+}
+
+// record closes a span opened at start on the worker's resource.
+func (ss *stepState) record(stage, replica int, name, kind string, start float64) {
+	if ss.rec == nil {
+		return
+	}
+	ss.rec.Record(ss.resID[stage][replica], name, kind, start, ss.rec.Now())
+}
+
+// Step executes one training iteration over the micro-batches and applies
+// synchronized updates.
+func (e *Executor) Step(micros []Batch) (*ExecResult, error) {
+	return e.StepContext(context.Background(), micros)
+}
+
+// StepContext is Step under a context: all worker goroutines unblock and the
+// step returns ctx.Err() once ctx is cancelled or past its deadline.
+func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult, error) {
+	s := len(e.stages)
+	m := len(micros)
+	if m == 0 {
+		return nil, fmt.Errorf("train: no micro-batches")
+	}
+	for _, b := range micros {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+		if b.X.Rows != micros[0].X.Rows {
+			return nil, fmt.Errorf("train: plan-driven step needs equal micro-batches (%d vs %d rows)", b.X.Rows, micros[0].X.Rows)
+		}
+	}
+	rows := micros[0].X.Rows
+	for i, st := range e.stages {
+		if r := len(st.nets); rows < r {
+			return nil, fmt.Errorf("train: micro-batch of %d rows split across %d replicas of stage %d", rows, r, i)
+		}
+	}
+	warmup, err := schedule.WarmupDepths(e.plan, schedule.Options{
+		Policy: e.opts.Policy, Recompute: e.opts.Recompute, M: m, MemLimit: e.opts.MemLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ss := &stepState{
+		micros: micros, rows: rows, m: m, warmup: warmup,
+		bounds:    make([]*boundary, s-1),
+		ars:       make([]*arGroup, s),
+		abort:     make(chan struct{}),
+		lossParts: make([]float64, len(e.stages[s-1].nets)),
+		maxStash:  make([][]int, s),
+		maxBytes:  make([][]int64, s),
+	}
+	for i := 0; i < s-1; i++ {
+		ss.bounds[i] = newBoundary(rows, len(e.stages[i].nets), len(e.stages[i+1].nets), m)
+	}
+	for i, st := range e.stages {
+		ss.ars[i] = newARGroup(len(st.nets))
+		ss.maxStash[i] = make([]int, len(st.nets))
+		ss.maxBytes[i] = make([]int64, len(st.nets))
+	}
+	if !e.opts.NoTrace {
+		ss.rec = trace.NewRecorder()
+		ss.resID = make([][]int, s)
+		for i := range e.stages {
+			devs := e.plan.Stages[i].Devices
+			ss.resID[i] = make([]int, len(devs))
+			for r, d := range devs {
+				ss.resID[i][r] = ss.rec.Resource(deviceResource(i, int(d)))
+			}
+		}
+	}
+
+	// A cancelled context aborts every blocked worker.
+	stop := context.AfterFunc(ctx, func() {
+		ss.abortOnce.Do(func() { close(ss.abort) })
+	})
+	defer stop()
+
+	wallStart := time.Now()
+	errs := make([][]error, s)
+	var wg sync.WaitGroup
+	for i, st := range e.stages {
+		errs[i] = make([]error, len(st.nets))
+		for r := range st.nets {
+			wg.Add(1)
+			go func(i, r int) {
+				defer wg.Done()
+				if err := e.runWorker(ss, i, r); err != nil {
+					errs[i][r] = err
+					ss.abortOnce.Do(func() { close(ss.abort) })
+				}
+			}(i, r)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(wallStart).Seconds()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, stageErrs := range errs {
+		for _, err := range stageErrs {
+			if err != nil && !errors.Is(err, errAborted) {
+				return nil, err
+			}
+		}
+	}
+
+	res := &ExecResult{
+		M:             m,
+		Warmup:        warmup,
+		MaxStash:      make([]int, s),
+		MaxStashBytes: make([]int64, s),
+		WallTime:      wall,
+	}
+	for _, l := range ss.lossParts {
+		res.Loss += l
+	}
+	res.Loss /= float64(m)
+	for i := range e.stages {
+		for r := range e.stages[i].nets {
+			res.MaxStash[i] = max(res.MaxStash[i], ss.maxStash[i][r])
+			res.MaxStashBytes[i] = max(res.MaxStashBytes[i], ss.maxBytes[i][r])
+		}
+	}
+	if ss.rec != nil {
+		res.Trace = ss.rec.Result()
+	}
+	return res, nil
+}
+
+// rstash holds one in-flight micro-batch's backward state on one replica.
+type rstash struct {
+	input *tensor.Matrix
+	ctxs  []nn.Ctx
+	bytes int64
+}
+
+// runWorker executes stage i's replica r: its slice of every micro-batch in
+// the policy's stage order, then the stage gradient sync and weight update.
+func (e *Executor) runWorker(ss *stepState, i, r int) error {
+	st := e.stages[i]
+	net := st.nets[r]
+	s := len(e.stages)
+	last := i == s-1
+	offs := partition(ss.rows, len(st.nets))
+	myLo, myHi := offs[r], offs[r+1]
+	myWeight := float64(myHi-myLo) / float64(ss.rows)
+
+	order := schedule.StageOrder(e.opts.Policy, ss.m, ss.warmup[i])
+	stashes := make(map[int]*rstash, ss.m)
+	pending := make(map[int]*tensor.Matrix, ss.m)
+	var loss float64
+	var curBytes int64
+
+	for _, o := range order {
+		if !o.Backward {
+			// ---- forward of micro-batch o.M ----
+			var x *tensor.Matrix
+			if i == 0 {
+				x = ss.micros[o.M].X.RowSlice(myLo, myHi)
+			} else {
+				var err error
+				x, err = ss.bounds[i-1].recvFwd(r, o.M, ss.abort)
+				if err != nil {
+					return err
+				}
+			}
+			start := ss.now()
+			out, ctxs := net.Forward(x)
+			sh := &rstash{ctxs: ctxs}
+			for _, c := range ctxs {
+				sh.bytes += nn.StashBytes(c)
+			}
+			if e.opts.Recompute {
+				sh.input = x.Clone()
+				sh.ctxs = nil
+				sh.bytes = int64(len(sh.input.Data)) * 8
+			}
+			stashes[o.M] = sh
+			curBytes += sh.bytes
+			if len(stashes) > ss.maxStash[i][r] {
+				ss.maxStash[i][r] = len(stashes)
+			}
+			if curBytes > ss.maxBytes[i][r] {
+				ss.maxBytes[i][r] = curBytes
+			}
+			if last {
+				// Per-slice loss and logits gradient, rescaled from the
+				// slice mean to the global micro-batch mean so replicated
+				// last stages reproduce the unreplicated gradient exactly.
+				l, dy := nn.SoftmaxCrossEntropy(out, ss.micros[o.M].Y[myLo:myHi])
+				loss += l * myWeight
+				dy.Scale(myWeight)
+				pending[o.M] = dy
+			}
+			ss.record(i, r, fmt.Sprintf("F%d.s%d", o.M, i), "fwd", start)
+			if !last {
+				ss.bounds[i].sendFwd(r, o.M, out)
+			}
+			continue
+		}
+
+		// ---- backward of micro-batch o.M ----
+		var dy *tensor.Matrix
+		if last {
+			dy = pending[o.M]
+			delete(pending, o.M)
+		} else {
+			var err error
+			dy, err = ss.bounds[i].recvBwd(r, o.M, ss.abort)
+			if err != nil {
+				return err
+			}
+		}
+		sh := stashes[o.M]
+		if sh == nil {
+			return fmt.Errorf("train: stage %d backward B%d without stash", i, o.M)
+		}
+		start := ss.now()
+		if e.opts.Recompute {
+			// Re-run the forward pass to regenerate activation contexts; the
+			// replay is part of the backward span, like the simulator charges
+			// re-computation to the backward task.
+			_, sh.ctxs = net.Forward(sh.input)
+		}
+		dx := net.Backward(sh.ctxs, dy)
+		delete(stashes, o.M)
+		curBytes -= sh.bytes
+		ss.record(i, r, fmt.Sprintf("B%d.s%d", o.M, i), "bwd", start)
+		if i > 0 {
+			ss.bounds[i-1].sendBwd(r, o.M, dx)
+		}
+	}
+
+	// Gradient sync and weight update (Fig. 10): sum replica gradients with
+	// a real ring all-reduce, average over micro-batches, apply identical
+	// updates per replica.
+	start := ss.now()
+	if err := ss.ars[i].reduce(r, net.Params(), ss.abort); err != nil {
+		return err
+	}
+	scaleGrads(net.Params(), 1/float64(ss.m))
+	st.opts[r].Step(net.Params())
+	ss.record(i, r, fmt.Sprintf("AR.s%d", i), "allreduce", start)
+	if last {
+		ss.lossParts[r] = loss
+	}
+	return nil
+}
+
+// VerifyOrder checks the sim-vs-real contract for one executed step: for
+// every stage of the plan, each device's real fwd/bwd/allreduce span
+// sequence must equal the simulated schedule's sequence on that stage's
+// executor resource. simRes and execRes must come from the same plan, policy,
+// re-computation setting and micro-batch count; nil is returned when every
+// device matches.
+func VerifyOrder(p *core.Plan, simRes *schedule.Result, execRes *ExecResult) error {
+	if execRes == nil || execRes.Trace == nil {
+		return fmt.Errorf("train: no real trace to verify (NoTrace set?)")
+	}
+	if simRes == nil || simRes.Sim == nil {
+		return fmt.Errorf("train: no simulated schedule to verify against")
+	}
+	for i, st := range p.Stages {
+		want := spanSequence(simRes.Sim, simRes.StageResource(i))
+		for _, d := range st.Devices {
+			res := execRes.Trace.ResourceIndex(deviceResource(i, int(d)))
+			if res < 0 {
+				return fmt.Errorf("train: stage %d device %d missing from real trace", i, d)
+			}
+			got := spanSequence(execRes.Trace, res)
+			if len(got) != len(want) {
+				return fmt.Errorf("train: stage %d device %d executed %d events, simulator scheduled %d",
+					i, d, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					return fmt.Errorf("train: stage %d device %d event %d: real %q vs simulated %q",
+						i, d, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// spanSequence extracts one resource's fwd/bwd/allreduce span names in
+// execution order.
+func spanSequence(r *sim.Result, res int) []string {
+	var out []string
+	for _, s := range r.Spans {
+		if s.Resource != res {
+			continue
+		}
+		switch s.Kind {
+		case "fwd", "bwd", "allreduce":
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// arGroup synchronizes one stage's replica gradients at iteration end: every
+// worker arrives with its flattened gradients, the last arrival runs the
+// ring all-reduce over all of them, and each worker leaves with the summed
+// vector scattered back into its parameters.
+type arGroup struct {
+	mu      sync.Mutex
+	bufs    [][]float64
+	arrived int
+	done    chan struct{}
+}
+
+// newARGroup returns a single-use barrier for n replicas.
+func newARGroup(n int) *arGroup {
+	return &arGroup{bufs: make([][]float64, n), done: make(chan struct{})}
+}
+
+// reduce is the per-worker rendezvous: it blocks until every replica of the
+// stage has contributed, then installs the all-reduced sum into params. It
+// returns errAborted when the step aborts before the stage completes.
+func (g *arGroup) reduce(r int, params []nn.Param, abort <-chan struct{}) error {
+	n := len(g.bufs)
+	if n == 1 {
+		return nil
+	}
+	g.mu.Lock()
+	g.bufs[r] = GradVector(params)
+	g.arrived++
+	lastArrival := g.arrived == n
+	g.mu.Unlock()
+	if lastArrival {
+		RingAllReduce(g.bufs)
+		close(g.done)
+	} else {
+		select {
+		case <-g.done:
+		case <-abort:
+			return errAborted
+		}
+	}
+	setGradVector(params, g.bufs[r])
+	return nil
+}

@@ -1,0 +1,70 @@
+package train
+
+import (
+	"testing"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/nn"
+	"dapple/internal/schedule"
+)
+
+// benchSetup builds the replicated 4-stage benchmark fixture: an 11-layer MLP
+// carved 3:3:3:2 with 2 replicas per stage on 8 flat devices, M=8
+// micro-batches of 16 rows.
+func benchSetup(b *testing.B, pol schedule.Policy) (*Executor, []Batch) {
+	b.Helper()
+	master := nn.MLP([]int{32, 48, 48, 48, 48, 48, 8}, 42) // 11 layers
+	const rows, m = 16, 8
+	mod, err := ProfileNetwork("bench-net", master, 32, rows, rows*m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := hardware.ConfigB(8)
+	stages := make([]core.Stage, 4)
+	lo, dev := 0, 0
+	for i, hi := range []int{3, 6, 9, 11} {
+		devs := make([]hardware.DeviceID, 2)
+		for r := range devs {
+			devs[r] = hardware.DeviceID(dev)
+			dev++
+		}
+		stages[i] = core.Stage{Lo: lo, Hi: hi, Devices: devs}
+		lo = hi
+	}
+	p := &core.Plan{Model: mod, Cluster: c, Stages: stages, GBS: rows * m, MicroBatch: rows}
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ex, err := NewExecutor(p, master, func() nn.Optimizer { return nn.SGD{LR: 0.01} },
+		ExecOptions{Policy: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ex, makeMicros(m, rows, 32, 8, 7)
+}
+
+// BenchmarkExecutePlan measures one really-executed training iteration of a
+// replicated 4-stage plan (2x replication per stage, 8 worker goroutines,
+// M=8) under both runtime policies, trace recording included — the
+// plan-driven runtime's end-to-end hot path.
+func BenchmarkExecutePlan(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		pol  schedule.Policy
+	}{
+		{"GPipe", schedule.GPipe},
+		{"DAPPLE", schedule.DapplePA},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ex, micros := benchSetup(b, tc.pol)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Step(micros); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package train
+
+import (
+	"fmt"
+
+	"dapple/internal/tensor"
+)
+
+// partition returns the k+1 row offsets of splitting rows across k parts,
+// first parts one row larger on uneven splits — the same layout
+// tensor.SplitRows produces — so part i covers global rows
+// [offs[i], offs[i+1]).
+func partition(rows, k int) []int {
+	offs := make([]int, k+1)
+	base, extra := rows/k, rows%k
+	for i := 0; i < k; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		offs[i+1] = offs[i] + sz
+	}
+	return offs
+}
+
+// linkMsg carries one micro-batch's row block between two workers.
+type linkMsg struct {
+	m    int
+	data *tensor.Matrix
+}
+
+// boundary wires one stage cut of the pipeline: a channel matrix between the
+// sender stage's replicas and the receiver stage's replicas realizing the
+// paper's split/concat semantics (§V-B2). Each replica owns a contiguous
+// global row range of the micro-batch; a channel exists exactly where a
+// sender's range intersects a receiver's, so unequal replication degrees
+// redistribute rows without any central concat node. Forward (activations)
+// and backward (gradients) directions use separate channels, mirroring the
+// simulator's full-duplex link resources.
+type boundary struct {
+	sendOffs []int // sender-stage row offsets, len(senders)+1
+	recvOffs []int // receiver-stage row offsets, len(receivers)+1
+	fwd      [][]chan linkMsg
+	bwd      [][]chan linkMsg
+}
+
+// newBoundary builds the channel matrix for a cut between rs sender replicas
+// and rr receiver replicas over micro-batches of the given rows. Channels are
+// buffered for m in-flight micro-batches so sends never block.
+func newBoundary(rows, rs, rr, m int) *boundary {
+	b := &boundary{
+		sendOffs: partition(rows, rs),
+		recvOffs: partition(rows, rr),
+		fwd:      make([][]chan linkMsg, rs),
+		bwd:      make([][]chan linkMsg, rs),
+	}
+	for s := 0; s < rs; s++ {
+		b.fwd[s] = make([]chan linkMsg, rr)
+		b.bwd[s] = make([]chan linkMsg, rr)
+		for q := 0; q < rr; q++ {
+			if lo, hi := intersect(b.sendOffs, s, b.recvOffs, q); hi > lo {
+				b.fwd[s][q] = make(chan linkMsg, m)
+				b.bwd[s][q] = make(chan linkMsg, m)
+			}
+		}
+	}
+	return b
+}
+
+// intersect returns the global-row overlap of sender part s and receiver
+// part q.
+func intersect(sendOffs []int, s int, recvOffs []int, q int) (int, int) {
+	lo := max(sendOffs[s], recvOffs[q])
+	hi := min(sendOffs[s+1], recvOffs[q+1])
+	return lo, hi
+}
+
+// sendFwd scatters sender replica s's forward output (its local rows) to
+// every receiver whose row range intersects. Slices are views — the sender
+// must not mutate data after sending, which the executor guarantees by never
+// reusing stage outputs.
+func (b *boundary) sendFwd(s, m int, data *tensor.Matrix) {
+	srcLo := b.sendOffs[s]
+	for q := range b.fwd[s] {
+		if ch := b.fwd[s][q]; ch != nil {
+			lo, hi := intersect(b.sendOffs, s, b.recvOffs, q)
+			ch <- linkMsg{m, data.RowSlice(lo-srcLo, hi-srcLo)}
+		}
+	}
+}
+
+// recvFwd gathers receiver replica q's forward input rows from every
+// intersecting sender, concatenating pieces in global row order.
+func (b *boundary) recvFwd(q, m int, abort <-chan struct{}) (*tensor.Matrix, error) {
+	var parts []*tensor.Matrix
+	for s := range b.fwd {
+		ch := b.fwd[s][q]
+		if ch == nil {
+			continue
+		}
+		select {
+		case in := <-ch:
+			if in.m != m {
+				return nil, fmt.Errorf("train: link expected F%d, got F%d", m, in.m)
+			}
+			parts = append(parts, in.data)
+		case <-abort:
+			return nil, errAborted
+		}
+	}
+	return assemble(parts), nil
+}
+
+// sendBwd scatters receiver replica q's input gradient back to every
+// intersecting sender replica of the previous stage.
+func (b *boundary) sendBwd(q, m int, data *tensor.Matrix) {
+	srcLo := b.recvOffs[q]
+	for s := range b.bwd {
+		if ch := b.bwd[s][q]; ch != nil {
+			lo, hi := intersect(b.sendOffs, s, b.recvOffs, q)
+			ch <- linkMsg{m, data.RowSlice(lo-srcLo, hi-srcLo)}
+		}
+	}
+}
+
+// recvBwd gathers sender replica s's output gradient rows from every
+// intersecting receiver replica of the next stage.
+func (b *boundary) recvBwd(s, m int, abort <-chan struct{}) (*tensor.Matrix, error) {
+	var parts []*tensor.Matrix
+	for q := range b.bwd[s] {
+		ch := b.bwd[s][q]
+		if ch == nil {
+			continue
+		}
+		select {
+		case in := <-ch:
+			if in.m != m {
+				return nil, fmt.Errorf("train: link expected B%d, got B%d", m, in.m)
+			}
+			parts = append(parts, in.data)
+		case <-abort:
+			return nil, errAborted
+		}
+	}
+	return assemble(parts), nil
+}
+
+// assemble concatenates received row blocks; a single block passes through
+// without copying.
+func assemble(parts []*tensor.Matrix) *tensor.Matrix {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return tensor.ConcatRows(parts...)
+}

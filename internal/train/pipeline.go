@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dapple/internal/nn"
+	"dapple/internal/schedule"
 	"dapple/internal/tensor"
 )
 
@@ -120,44 +121,15 @@ type msg struct {
 	data *tensor.Matrix
 }
 
-// pipeOp is one step of a stage's schedule.
-type pipeOp struct {
-	backward bool
-	m        int
-}
-
-// scheduleOrder lists the FW/BW sequence for a stage: GPipe runs all
-// forwards then backwards in reverse; DAPPLE runs k warmup forwards then
-// strictly alternates backward/forward (the §V-C control-dependency order).
-func scheduleOrder(p Policy, m, k int) []pipeOp {
-	var order []pipeOp
+// scheduleOrder lists the FW/BW sequence for a stage by delegating to the
+// simulator's schedule.StageOrder, so the legacy PipelineConfig runtime, the
+// plan-driven Executor and the discrete-event scheduler all share one
+// definition of the §V-C control-dependency order.
+func scheduleOrder(p Policy, m, k int) []schedule.Op {
 	if p == GPipeSchedule {
-		for i := 0; i < m; i++ {
-			order = append(order, pipeOp{false, i})
-		}
-		for i := m - 1; i >= 0; i-- {
-			order = append(order, pipeOp{true, i})
-		}
-		return order
+		return schedule.StageOrder(schedule.GPipe, m, k)
 	}
-	if k > m {
-		k = m
-	}
-	if k < 1 {
-		k = 1
-	}
-	for i := 0; i < k; i++ {
-		order = append(order, pipeOp{false, i})
-	}
-	next := k
-	for i := 0; i < m; i++ {
-		order = append(order, pipeOp{true, i})
-		if next < m {
-			order = append(order, pipeOp{false, next})
-			next++
-		}
-	}
-	return order
+	return schedule.StageOrder(schedule.DapplePA, m, k)
 }
 
 // stash holds one in-flight micro-batch's backward state on a stage.
@@ -251,15 +223,15 @@ func (p *Pipeline) runStage(i int, micros []Batch, act, grad []chan msg, stats *
 	var curBytes int64
 
 	for _, o := range order {
-		if !o.backward {
-			// ---- forward of micro-batch o.m ----
+		if !o.Backward {
+			// ---- forward of micro-batch o.M ----
 			var x *tensor.Matrix
 			if i == 0 {
-				x = micros[o.m].X
+				x = micros[o.M].X
 			} else {
 				in := <-act[i-1]
-				if in.m != o.m {
-					return fmt.Errorf("train: stage %d expected F%d, got F%d", i, o.m, in.m)
+				if in.m != o.M {
+					return fmt.Errorf("train: stage %d expected F%d, got F%d", i, o.M, in.m)
 				}
 				x = in.data
 			}
@@ -273,7 +245,7 @@ func (p *Pipeline) runStage(i int, micros []Batch, act, grad []chan msg, stats *
 				sh.ctxs = nil
 				sh.bytes = int64(len(sh.input.Data)) * 8
 			}
-			stashes[o.m] = sh
+			stashes[o.M] = sh
 			curBytes += sh.bytes
 			if len(stashes) > stats.MaxStash[i] {
 				stats.MaxStash[i] = len(stashes)
@@ -282,30 +254,30 @@ func (p *Pipeline) runStage(i int, micros []Batch, act, grad []chan msg, stats *
 				stats.MaxStashBytes[i] = curBytes
 			}
 			if i == s-1 {
-				l, dy := nn.SoftmaxCrossEntropy(out, micros[o.m].Y)
+				l, dy := nn.SoftmaxCrossEntropy(out, micros[o.M].Y)
 				loss += l
-				pendingDy[o.m] = dy
+				pendingDy[o.M] = dy
 			} else {
-				act[i] <- msg{o.m, out}
+				act[i] <- msg{o.M, out}
 			}
 			continue
 		}
 
-		// ---- backward of micro-batch o.m ----
+		// ---- backward of micro-batch o.M ----
 		var dy *tensor.Matrix
 		if i == s-1 {
-			dy = pendingDy[o.m]
-			delete(pendingDy, o.m)
+			dy = pendingDy[o.M]
+			delete(pendingDy, o.M)
 		} else {
 			in := <-grad[i]
-			if in.m != o.m {
-				return fmt.Errorf("train: stage %d expected B%d, got B%d", i, o.m, in.m)
+			if in.m != o.M {
+				return fmt.Errorf("train: stage %d expected B%d, got B%d", i, o.M, in.m)
 			}
 			dy = in.data
 		}
-		sh := stashes[o.m]
+		sh := stashes[o.M]
 		if sh == nil {
-			return fmt.Errorf("train: stage %d backward B%d without stash", i, o.m)
+			return fmt.Errorf("train: stage %d backward B%d without stash", i, o.M)
 		}
 		if p.cfg.Recompute {
 			// Re-run the forward pass to regenerate activation contexts.
@@ -319,10 +291,10 @@ func (p *Pipeline) runStage(i int, micros []Batch, act, grad []chan msg, stats *
 		if err != nil {
 			return err
 		}
-		delete(stashes, o.m)
+		delete(stashes, o.M)
 		curBytes -= sh.bytes
 		if i > 0 {
-			grad[i-1] <- msg{o.m, dx}
+			grad[i-1] <- msg{o.M, dx}
 		}
 	}
 	if i == s-1 {

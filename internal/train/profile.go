@@ -1,0 +1,67 @@
+package train
+
+import (
+	"fmt"
+
+	"dapple/internal/model"
+	"dapple/internal/nn"
+	"dapple/internal/tensor"
+)
+
+// synthFLOPS is the synthetic device throughput ProfileNetwork converts
+// analytic FLOP counts into seconds with. It is deliberately modest so that
+// per-layer times of the small real networks land on the same order as the
+// scheduler's fixed weight-update cost and plans stay non-degenerate.
+const synthFLOPS = 1e9
+
+// ProfileNetwork derives a planner-ready profiled model from a real network:
+// one model layer per network layer, analytic compute times from each
+// layer's parameter and activation shapes, and exact activation/parameter
+// byte counts measured by one probe forward pass at profileBatch rows of
+// inDim features. This is the bridge that closes the planner→runtime loop:
+// the returned model's layer indices map one-to-one onto the network's
+// layers, so any core.Plan produced for it is executable by an Executor.
+func ProfileNetwork(name string, net *nn.Network, inDim, profileBatch, defaultGBS int) (*model.Model, error) {
+	if net == nil || net.NumLayers() == 0 {
+		return nil, fmt.Errorf("train: profile of an empty network")
+	}
+	if inDim < 1 || profileBatch < 1 || defaultGBS < 1 {
+		return nil, fmt.Errorf("train: profile geometry inDim=%d batch=%d gbs=%d", inDim, profileBatch, defaultGBS)
+	}
+	x := tensor.New(profileBatch, inDim)
+	layers := make([]model.Layer, 0, net.NumLayers())
+	for i, l := range net.Layers {
+		y, ctx := l.Forward(x)
+		var params int64
+		for _, p := range l.Params() {
+			params += int64(len(p.W.Data))
+		}
+		// Parametric layers cost one multiply-add per weight per row;
+		// activations one op per element.
+		flops := float64(profileBatch) * float64(y.Cols)
+		if params > 0 {
+			flops = 2 * float64(profileBatch) * float64(x.Cols) * float64(y.Cols)
+		}
+		fwd := flops / synthFLOPS
+		layers = append(layers, model.Layer{
+			Name:        fmt.Sprintf("L%d", i),
+			FwdTime:     fwd,
+			BwdTime:     2 * fwd, // the standard B ≈ 2F ratio the paper assumes
+			OutputBytes: int64(len(y.Data)) * 8,
+			StoredBytes: nn.StashBytes(ctx),
+			ParamBytes:  params * 8,
+		})
+		x = y
+	}
+	m := &model.Model{
+		Name:                   name,
+		Layers:                 layers,
+		ProfileBatch:           profileBatch,
+		DefaultGBS:             defaultGBS,
+		OptimizerBytesPerParam: model.AdamBytesPerParam,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,41 @@
+package train
+
+import (
+	"math/rand"
+
+	"dapple/internal/tensor"
+)
+
+// NewQuadrantProblem returns the fixed latent projection of the synthetic
+// 4-class problem the commands and examples train on: inputs of inDim
+// features project onto two latent axes, and the class is the sign quadrant.
+// Draw fresh micro-batches with QuadrantBatches under the same projection.
+func NewQuadrantProblem(rng *rand.Rand, inDim int) *tensor.Matrix {
+	proj := tensor.New(inDim, 2)
+	proj.Randomize(rng, 1)
+	return proj
+}
+
+// QuadrantBatches draws m fresh micro-batches of rows examples each from the
+// quadrant problem defined by proj (as returned by NewQuadrantProblem):
+// uniform inputs in [-1, 1], labeled by the sign pattern of the two latent
+// projections.
+func QuadrantBatches(rng *rand.Rand, proj *tensor.Matrix, m, rows int) []Batch {
+	micros := make([]Batch, m)
+	for i := range micros {
+		x := tensor.New(rows, proj.Rows)
+		x.Randomize(rng, 1)
+		z := tensor.MatMul(x, proj)
+		y := make([]int, rows)
+		for r := 0; r < rows; r++ {
+			if z.At(r, 0) > 0 {
+				y[r] |= 1
+			}
+			if z.At(r, 1) > 0 {
+				y[r] |= 2
+			}
+		}
+		micros[i] = Batch{X: x, Y: y}
+	}
+	return micros
+}
