@@ -3,6 +3,13 @@
 // simulator. The full sweep takes ~30 s; every generator threads the
 // command's context, so -timeout bounds it and ctrl-C stops it promptly.
 //
+// With -exec it instead benchmarks the REAL training runtime outside `go
+// test`: the same replicated 4-stage fixture as BenchmarkExecutePlan (11
+// layers carved 3:3:3:2, 2 replicas per stage, 8 worker goroutines, M=8),
+// reporting per-iteration wall time, allocations and allocated bytes for
+// both schedule policies — the portable form of the runtime benchmark for
+// re-baselining on multi-core hosts.
+//
 // Usage:
 //
 //	dapple-bench -exp all          # every table and figure (§VI)
@@ -10,16 +17,22 @@
 //	dapple-bench -list             # available experiment ids
 //	dapple-bench -exp fig12 -quick # trimmed sweeps
 //	dapple-bench -exp all -timeout 20s
+//	dapple-bench -exec -exec-iters 100
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dapple/internal/cliutil"
 	"dapple/internal/experiments"
+	"dapple/internal/schedule"
+	"dapple/internal/stats"
+	"dapple/internal/train"
 )
 
 func main() {
@@ -27,8 +40,11 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	list := flag.Bool("list", false, "list experiment ids")
+	execMode := flag.Bool("exec", false, "benchmark the real training runtime instead of the simulator sweeps")
+	execIters := flag.Int("exec-iters", 50, "timed iterations per policy in -exec mode (after 3 warm-up iterations)")
 	planFlags := cliutil.RegisterPlanFlags()
 	profFlags := cliutil.RegisterProfileFlags()
+	seed := cliutil.RegisterSeedFlag()
 	flag.Parse()
 
 	stopProf, err := profFlags.Start()
@@ -47,6 +63,15 @@ func main() {
 
 	ctx, cancel := cliutil.RootContext(*timeout)
 	defer cancel()
+
+	if *execMode {
+		if *execIters < 1 {
+			fmt.Fprintf(os.Stderr, "-exec-iters must be >= 1 (got %d)\n", *execIters)
+			os.Exit(1)
+		}
+		runExecBench(ctx, *execIters, *seed)
+		return
+	}
 
 	opts := experiments.Options{Quick: *quick, Workers: planFlags.Workers, NoPrune: planFlags.NoPrune}
 	run := func(g experiments.Generator) {
@@ -75,4 +100,52 @@ func main() {
 		os.Exit(1)
 	}
 	run(*g)
+}
+
+// runExecBench times the real runtime outside `go test`: per policy, 3
+// warm-up iterations then iters timed ones, reporting medians-free simple
+// per-iteration means of wall time, heap allocations and allocated bytes.
+// The loop threads ctx, so -timeout and ctrl-C stop it mid-step like every
+// other mode of the three commands.
+func runExecBench(ctx context.Context, iters int, seed int64) {
+	fmt.Printf("exec benchmark: %d iterations/policy, GOMAXPROCS=%d\n", iters, runtime.GOMAXPROCS(0))
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "stopped: %v\n", err)
+		os.Exit(1)
+	}
+	for _, tc := range []struct {
+		name string
+		pol  schedule.Policy
+	}{
+		{"GPipe", schedule.GPipe},
+		{"DAPPLE", schedule.DapplePA},
+	} {
+		ex, micros, err := train.BenchmarkFixture(tc.pol, seed)
+		if err != nil {
+			fail(err)
+		}
+		for i := 0; i < 3; i++ { // reach the allocation steady state
+			if _, err := ex.StepContext(ctx, micros); err != nil {
+				fail(err)
+			}
+		}
+		var m1, m2 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := ex.StepContext(ctx, micros); err != nil {
+				fail(err)
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m2)
+		perIter := wall / time.Duration(iters)
+		fmt.Printf("  %-7s %s/iter  %6d B/iter  %4d allocs/iter  (%s total)\n",
+			tc.name,
+			stats.Seconds(perIter.Seconds()),
+			(m2.TotalAlloc-m1.TotalAlloc)/uint64(iters),
+			(m2.Mallocs-m1.Mallocs)/uint64(iters),
+			stats.Seconds(wall.Seconds()))
+	}
 }

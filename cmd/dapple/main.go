@@ -67,6 +67,8 @@ func main() {
 		execHidden = flag.Int("exec-hidden", 3, "hidden layers of the -execute MLP")
 		execWidth  = flag.Int("exec-width", 64, "hidden width of the -execute MLP")
 		execIters  = flag.Int("exec-iters", 5, "training iterations to really execute")
+		measured   = flag.Bool("measured-profile", false, "with -execute: calibrate per-layer times by measuring warm real execution instead of the analytic FLOP model")
+		measIters  = flag.Int("measure-iters", 5, "with -measured-profile: recorded calibration iterations aggregated per layer")
 	)
 	planFlags := cliutil.RegisterPlanFlags()
 	profFlags := cliutil.RegisterProfileFlags()
@@ -92,21 +94,48 @@ func main() {
 		return
 	}
 
+	c, err := cliutil.PickConfig(*config, *servers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	engOpts := []dapple.EngineOption{
+		dapple.WithCluster(c),
+		dapple.WithStrategy(*strategy),
+	}
+	if *measured {
+		engOpts = append(engOpts, dapple.WithMeasuredProfile(dapple.MeasureOptions{Iters: *measIters}))
+	}
+	eng, err := dapple.NewEngine(engOpts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx, cancel := cliutil.RootContext(*timeout)
+	defer cancel()
+
 	var m *dapple.Model
 	var master *dapple.Network
 	if *execute {
-		// Plan-then-execute mode: the model is a real network, profiled.
+		// Plan-then-execute mode: the model is a real network, profiled
+		// through the engine's configured mode — analytic by default,
+		// measured (calibrated by warm real execution) with
+		// -measured-profile. The measured loop is the paper's profiler:
+		// calibrate, re-plan on measured costs, then really execute.
 		dims := []int{execInDim}
 		for i := 0; i < *execHidden; i++ {
 			dims = append(dims, *execWidth)
 		}
 		dims = append(dims, execClasses)
 		master = dapple.NewMLP(dims, *seed)
-		var err error
-		m, err = dapple.ProfileNetwork(
+		m, err = eng.ProfileNetwork(ctx,
 			fmt.Sprintf("mlp-h%d-w%d", *execHidden, *execWidth), master, execInDim, 16, 128)
 		if err != nil {
 			fatalf("profile network: %v", err)
+		}
+		if *measured {
+			fmt.Println("profile: measured (per-layer times calibrated from warm real execution)")
+		} else {
+			fmt.Println("profile: analytic (synthetic FLOP model; -measured-profile to calibrate)")
 		}
 	} else {
 		m = dapple.ModelByName(*modelName)
@@ -114,19 +143,6 @@ func main() {
 			fatalf("unknown model %q; use -models", *modelName)
 		}
 	}
-	c, err := cliutil.PickConfig(*config, *servers)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	eng, err := dapple.NewEngine(
-		dapple.WithCluster(c),
-		dapple.WithStrategy(*strategy),
-	)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	ctx, cancel := cliutil.RootContext(*timeout)
-	defer cancel()
 
 	fmt.Printf("model:   %v\n", m)
 	fmt.Printf("cluster: %v\n", c)

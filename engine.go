@@ -33,6 +33,7 @@ type Engine struct {
 	progress   func(Progress)
 	planOpts   PlanOptions
 	cacheCap   int
+	measure    *MeasureOptions // non-nil: ProfileNetwork measures, not estimates
 
 	mu        sync.Mutex
 	cache     map[planKey]*PlanResult

@@ -53,6 +53,45 @@ func ProfileNetwork(name string, net *Network, inDim, profileBatch, defaultGBS i
 	return train.ProfileNetwork(name, net, inDim, profileBatch, defaultGBS)
 }
 
+// MeasureOptions configure measured (calibration-based) network profiling:
+// warm-up iterations and the number of recorded iterations aggregated per
+// layer.
+type MeasureOptions = train.MeasureOptions
+
+// ProfileNetworkMeasured is ProfileNetwork with measured per-layer times: it
+// runs warm calibration iterations of the network's pooled-buffer execution
+// path — the same kernels the Executor runs — and aggregates each layer's
+// recorded forward/backward span durations by median, the paper's actual
+// profiler loop. Byte accounting is identical to ProfileNetwork's, so the
+// profiles differ only in their time columns. The calibration loop checks
+// ctx between iterations, so deadlines and cancellation bound it.
+func ProfileNetworkMeasured(ctx context.Context, name string, net *Network, inDim, profileBatch, defaultGBS int, mo MeasureOptions) (*Model, error) {
+	return train.ProfileNetworkMeasured(ctx, name, net, inDim, profileBatch, defaultGBS, mo)
+}
+
+// WithMeasuredProfile makes the engine's ProfileNetwork method calibrate
+// per-layer times from real warm execution (ProfileNetworkMeasured) instead
+// of the analytic FLOP model — the calibrate→plan→execute loop the paper
+// drives its planner with.
+func WithMeasuredProfile(mo MeasureOptions) EngineOption {
+	return func(e *Engine) error {
+		e.measure = &mo
+		return nil
+	}
+}
+
+// ProfileNetwork profiles a real network through the engine's configured
+// profiling mode: analytic per-layer times by default, measured (calibrated
+// by real execution, ctx-bounded) when the engine was built
+// WithMeasuredProfile. Plans searched on the returned model are executable
+// by NewExecutor either way.
+func (e *Engine) ProfileNetwork(ctx context.Context, name string, net *Network, inDim, profileBatch, defaultGBS int) (*Model, error) {
+	if e.measure != nil {
+		return train.ProfileNetworkMeasured(ctx, name, net, inDim, profileBatch, defaultGBS, *e.measure)
+	}
+	return train.ProfileNetwork(name, net, inDim, profileBatch, defaultGBS)
+}
+
 // NewExecutor builds a plan-driven executor for a planning result: the
 // network is carved into the plan's stages (one replica per device) and the
 // strategy's recommended schedule policy and re-computation setting are

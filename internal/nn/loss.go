@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"dapple/internal/tensor"
@@ -12,8 +13,19 @@ import (
 // the global-batch mean — the gradient-accumulation identity the paper's
 // equivalence argument relies on).
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	return SoftmaxCrossEntropyInto(grad, logits, labels), grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logits gradient
+// into the preallocated grad (same shape as logits, contents overwritten) —
+// the allocation-free form the steady-state runtime uses with pooled buffers.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Matrix, labels []int) float64 {
 	rows := logits.Rows
-	grad := tensor.New(rows, logits.Cols)
+	if grad.Rows != rows || grad.Cols != logits.Cols {
+		panic(fmt.Sprintf("nn: cross-entropy grad %dx%d for %dx%d logits",
+			grad.Rows, grad.Cols, rows, logits.Cols))
+	}
 	var loss float64
 	for r := 0; r < rows; r++ {
 		row := logits.Row(r)
@@ -37,7 +49,7 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 		g[labels[r]] -= 1
 	}
 	grad.Scale(1 / float64(rows))
-	return loss / float64(rows), grad
+	return loss / float64(rows)
 }
 
 // MSE returns the mean squared error between pred and target and the

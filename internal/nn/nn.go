@@ -51,6 +51,8 @@ func StashBytes(c Ctx) int64 {
 		return 0
 	case *tensor.Matrix:
 		return int64(len(v.Data)) * 8
+	case *ReLUMask:
+		return int64(len(v.Bits)) * 8
 	case []*tensor.Matrix:
 		var n int64
 		for _, m := range v {
@@ -118,26 +120,22 @@ func (d *Dense) Clone() Layer {
 // ReLU is the rectified linear activation.
 type ReLU struct{}
 
-// Forward implements Layer.
+// Forward implements Layer. The stash is a ReLUMask — one bit per element —
+// rather than a full copy of the output: backward only needs to know WHICH
+// elements passed, so cloning the activation was a 64x over-stash (and a
+// second full allocation per forward).
 func (ReLU) Forward(x *tensor.Matrix) (*tensor.Matrix, Ctx) {
 	y := x.Clone()
-	for i, v := range y.Data {
-		if v < 0 {
-			y.Data[i] = 0
-		}
-	}
-	return y, y.Clone()
+	mask := NewReLUMask(len(y.Data))
+	mask.forward(y)
+	return y, mask
 }
 
 // Backward implements Layer.
 func (ReLU) Backward(ctx Ctx, dy *tensor.Matrix) *tensor.Matrix {
-	y := ctx.(*tensor.Matrix)
+	mask := ctx.(*ReLUMask)
 	dx := dy.Clone()
-	for i, v := range y.Data {
-		if v <= 0 {
-			dx.Data[i] = 0
-		}
-	}
+	mask.Apply(dx)
 	return dx
 }
 

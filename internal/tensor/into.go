@@ -1,0 +1,137 @@
+package tensor
+
+import "fmt"
+
+// This file holds the allocation-free "into" kernel variants the steady-state
+// training runtime executes: every kernel writes into a caller-provided
+// destination (typically leased from a Pool), so a warm training iteration
+// performs zero heap allocations in its compute hot path. Each kernel computes
+// exactly what its allocating counterpart computes, streaming elements in the
+// same order, so results differ from the reference path only by the float
+// rounding of fused accumulation.
+
+// MatMulInto computes out = a @ b into the preallocated out, overwriting its
+// contents. Shapes must satisfy out = (a.Rows x b.Cols), a.Cols = b.Rows.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul out %dx%d for %dx%d result", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	out.Zero()
+	mulInto(out, a, b)
+}
+
+// MatMulATBAddInto accumulates out += aᵀ @ b — the weight-gradient kernel
+// fused with gradient accumulation, replacing the allocating
+// out.Add(MatMulATB(a, b)) pattern. Shapes: out = (a.Cols x b.Cols),
+// a.Rows = b.Rows.
+func MatMulATBAddInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulATB %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulATB out %dx%d for %dx%d result", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		ar := a.Row(r)
+		br := b.Row(r)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Data[i*n : (i+1)*n]
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABTInto computes out = a @ bᵀ into the preallocated out, overwriting
+// its contents — the input-gradient kernel. Shapes: out = (a.Rows x b.Rows),
+// a.Cols = b.Cols.
+func MatMulABTInto(out, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulABT %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulABT out %dx%d for %dx%d result", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var s float64
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			or[j] = s
+		}
+	}
+}
+
+// AddRowVecInto computes dst = src with vector v (len Cols) added to every
+// row. dst and src may alias (dst == src adds in place); shapes must match.
+func AddRowVecInto(dst, src *Matrix, v []float64) {
+	dst.mustSameShape(src)
+	if len(v) != src.Cols {
+		panic(fmt.Sprintf("tensor: row vec %d for %d cols", len(v), src.Cols))
+	}
+	for r := 0; r < src.Rows; r++ {
+		sr := src.Row(r)
+		dr := dst.Row(r)
+		for j, x := range v {
+			dr[j] = sr[j] + x
+		}
+	}
+}
+
+// SumRowsInto accumulates the column-wise sums of m into dst (len Cols) —
+// the bias-gradient kernel fused with gradient accumulation, replacing the
+// allocating SumRows-then-add pattern. dst is NOT zeroed first.
+func SumRowsInto(dst []float64, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: sum-rows dst %d for %d cols", len(dst), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, x := range row {
+			dst[j] += x
+		}
+	}
+}
+
+// ConcatRowsInto stacks the given matrices vertically into the preallocated
+// dst, whose shape must equal the concatenation's.
+func ConcatRowsInto(dst *Matrix, parts ...*Matrix) {
+	rows := 0
+	for _, p := range parts {
+		if p.Cols != dst.Cols {
+			panic(fmt.Sprintf("tensor: concat cols %d vs %d", p.Cols, dst.Cols))
+		}
+		rows += p.Rows
+	}
+	if rows != dst.Rows {
+		panic(fmt.Sprintf("tensor: concat of %d rows into %d", rows, dst.Rows))
+	}
+	at := 0
+	for _, p := range parts {
+		copy(dst.Data[at:], p.Data)
+		at += len(p.Data)
+	}
+}
+
+// RowSliceInto points the reusable header dst at rows [lo, hi) of m, sharing
+// storage — the allocation-free form of RowSlice for hot paths that keep a
+// preallocated header per in-flight view.
+func (m *Matrix) RowSliceInto(dst *Matrix, lo, hi int) {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: row slice [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	dst.Rows, dst.Cols = hi-lo, m.Cols
+	dst.Data = m.Data[lo*m.Cols : hi*m.Cols]
+}

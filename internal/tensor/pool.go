@@ -1,0 +1,61 @@
+package tensor
+
+// Pool is a shape-keyed free list of matrices — the per-worker workspace
+// arena of the real training runtime. A worker leases buffers with Get,
+// returns them with Put, and after one warm iteration every shape the
+// iteration touches is resident, so the steady state allocates nothing.
+//
+// A Pool is NOT safe for concurrent use: the runtime gives each worker
+// goroutine its own pool, and buffers crossing goroutines are handed off
+// through channels (which establish the necessary happens-before edges)
+// rather than shared.
+type Pool struct {
+	free map[poolKey][]*Matrix
+
+	// leased counts Get calls minus Put calls, for leak diagnostics.
+	leased int
+	// misses counts Gets that had to allocate a fresh matrix.
+	misses int
+}
+
+type poolKey struct{ rows, cols int }
+
+// NewPool returns an empty workspace pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[poolKey][]*Matrix)}
+}
+
+// Get leases a rows x cols matrix with UNDEFINED contents: callers must fully
+// overwrite it (the Into kernels do) or Zero it themselves.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	p.leased++
+	k := poolKey{rows, cols}
+	if l := p.free[k]; len(l) > 0 {
+		m := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.free[k] = l[:len(l)-1]
+		return m
+	}
+	p.misses++
+	return New(rows, cols)
+}
+
+// Put returns a leased matrix to the pool. The caller must not use m after
+// Put. Foreign matrices (not leased from this pool) may be donated; nil is
+// ignored.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	p.leased--
+	k := poolKey{m.Rows, m.Cols}
+	p.free[k] = append(p.free[k], m)
+}
+
+// Leased reports outstanding buffers (Gets minus Puts) — zero between
+// iterations when every lease was returned.
+func (p *Pool) Leased() int { return p.leased }
+
+// Misses reports how many Gets allocated because no pooled buffer of the
+// shape was free — constant across iterations once the pool is warm.
+func (p *Pool) Misses() int { return p.misses }

@@ -44,6 +44,16 @@ func (r *Recorder) Now() float64 {
 	return time.Since(r.start).Seconds()
 }
 
+// Reset clears recorded spans and restarts the clock while keeping interned
+// resources and per-resource span capacity, so a long-lived executor records
+// iteration after iteration without re-allocating its trace buffers.
+func (r *Recorder) Reset() {
+	r.start = time.Now()
+	for i := range r.spans {
+		r.spans[i] = r.spans[i][:0]
+	}
+}
+
 // Record appends one executed span to resource res. Distinct resources may
 // record concurrently; a single resource must record from one goroutine, in
 // start-time order.

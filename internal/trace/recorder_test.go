@@ -51,3 +51,32 @@ func TestRecorderResultShape(t *testing.T) {
 		t.Fatalf("gantt missing resource row:\n%s", g)
 	}
 }
+
+// TestRecorderReset checks a reset recorder keeps its interned resources and
+// records a fresh, independent iteration without re-registration.
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	a := r.Resource("dev0")
+	r.Record(a, "F0.s0", "fwd", 0, 1)
+	first := r.Result()
+	if len(first.Spans) != 1 {
+		t.Fatalf("first iteration recorded %d spans", len(first.Spans))
+	}
+
+	r.Reset()
+	if r.Resource("dev0") != a {
+		t.Fatal("Reset dropped interned resources")
+	}
+	r.Record(a, "F1.s0", "fwd", 0, 2)
+	second := r.Result()
+	if len(second.Spans) != 1 || second.Spans[0].Name != "F1.s0" {
+		t.Fatalf("post-reset result carries stale spans: %+v", second.Spans)
+	}
+	if second.Makespan != 2 {
+		t.Fatalf("post-reset makespan %g", second.Makespan)
+	}
+	// Results snapshot: the first result must be unaffected by the reset.
+	if first.Spans[0].Name != "F0.s0" {
+		t.Fatal("earlier Result mutated by Reset")
+	}
+}

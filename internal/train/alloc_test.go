@@ -1,0 +1,77 @@
+package train
+
+import (
+	"testing"
+
+	"dapple/internal/schedule"
+)
+
+// stepAllocBudget is the steady-state allocation ceiling per executed
+// iteration of the benchmark fixture (trace recording on). The PR-4 runtime
+// spent 2263 allocs per iteration here; the pooled-workspace runtime measures
+// ~70, so the gate at a 10x reduction from the old baseline has generous
+// headroom while still failing loudly if a hot path regresses into the
+// allocator.
+const stepAllocBudget = 220
+
+// TestStepSteadyStateAllocBudget is the allocation-regression gate of the
+// real runtime: after warm-up, a full plan-driven training iteration — 8
+// workers, 4 replicated stages, link traffic, ring all-reduce, span
+// recording — must stay under the budget. Skipped under the race detector,
+// whose instrumentation changes allocation behavior.
+func TestStepSteadyStateAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, tc := range []struct {
+		name string
+		pol  schedule.Policy
+	}{
+		{"GPipe", schedule.GPipe},
+		{"DAPPLE", schedule.DapplePA},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ex, micros := benchSetup(t, tc.pol)
+			for i := 0; i < 3; i++ { // reach the steady state
+				if _, err := ex.Step(micros); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := ex.Step(micros); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > stepAllocBudget {
+				t.Fatalf("steady-state step allocates %.0f, budget %d", allocs, stepAllocBudget)
+			}
+			t.Logf("steady-state step: %.0f allocs (budget %d)", allocs, stepAllocBudget)
+		})
+	}
+}
+
+// TestStepGeometryChangeRebuilds checks the runtime-cache path: steps with
+// a different micro-batch geometry rebuild cleanly and still match the
+// sequential reference, and returning to the first geometry re-converges to
+// a warm steady state.
+func TestStepGeometryChangeRebuilds(t *testing.T) {
+	ex, micros8 := benchSetup(t, schedule.DapplePA)
+	micros4 := makeMicros(4, 16, 32, 8, 13)
+	if _, err := ex.Step(micros8); err != nil {
+		t.Fatal(err)
+	}
+	res4, err := ex.Step(micros4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.M != 4 {
+		t.Fatalf("M=%d after geometry change, want 4", res4.M)
+	}
+	res8, err := ex.Step(micros8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.M != 8 || len(res8.Warmup) != ex.NumStages() {
+		t.Fatalf("bad result after switching back: M=%d", res8.M)
+	}
+}

@@ -28,44 +28,79 @@ func RingAllReduce(bufs [][]float64) {
 	if size == 0 {
 		return
 	}
+	newRingState(n, size).allReduce(bufs)
+}
 
-	// chunk returns the [lo, hi) bounds of chunk c.
-	chunk := func(c int) (int, int) {
-		base, extra := size/n, size%n
-		lo := c*base + min(c, extra)
-		sz := base
-		if c < extra {
-			sz++
-		}
-		return lo, lo + sz
+// ringState is the reusable scratch of one ring all-reduce group: the ring
+// channels plus per-rank chunk transfer buffers, sized once so a steady-state
+// training iteration synchronizes gradients without allocating.
+//
+// Each rank rotates through three send buffers. Three is the minimum safe
+// depth for the cap-1 ring channels: by the Go memory model, the receive of
+// message k happens-before the completion of send k+1, so by the time a rank
+// copies message j+3 into the slot message j used, its neighbor has received
+// message j+1 — which, in the neighbor's program order, is after it finished
+// reading message j. Two slots would leave the copy racing the neighbor's
+// reads.
+type ringState struct {
+	n, size int
+	ch      []chan []float64 // ch[i] carries chunks from rank i to (i+1) mod n
+	out     [][]float64      // 3 rotating send-scratch chunks per rank
+}
+
+// newRingState builds scratch for n participants with size-element vectors.
+func newRingState(n, size int) *ringState {
+	rs := &ringState{
+		n: n, size: size,
+		ch:  make([]chan []float64, n),
+		out: make([][]float64, 3*n),
 	}
-
-	// ch[i] carries chunks from rank i to rank (i+1) mod n.
-	ch := make([]chan []float64, n)
-	for i := range ch {
-		ch[i] = make(chan []float64, 1)
+	maxChunk := (size + n - 1) / n
+	for i := range rs.ch {
+		rs.ch[i] = make(chan []float64, 1)
 	}
+	for i := range rs.out {
+		rs.out[i] = make([]float64, maxChunk)
+	}
+	return rs
+}
 
+// chunk returns the [lo, hi) bounds of chunk c.
+func (rs *ringState) chunk(c int) (int, int) {
+	base, extra := rs.size/rs.n, rs.size%rs.n
+	lo := c*base + min(c, extra)
+	sz := base
+	if c < extra {
+		sz++
+	}
+	return lo, lo + sz
+}
+
+// allReduce runs the ring over bufs (len n, each size elements) reusing the
+// state's channels and chunk scratch. The channels are drained on return, so
+// consecutive calls may share one state; concurrent calls may not.
+func (rs *ringState) allReduce(bufs [][]float64) {
+	n := rs.n
 	var wg sync.WaitGroup
 	for rank := 0; rank < n; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			buf := bufs[rank]
-			send := ch[rank]
-			recv := ch[(rank-1+n)%n]
+			send := rs.ch[rank]
+			recv := rs.ch[(rank-1+n)%n]
 
 			// Reduce-scatter: after step s, rank owns the full sum of chunk
 			// (rank+1) mod n at the end.
 			for s := 0; s < n-1; s++ {
 				c := (rank - s + n) % n
-				lo, hi := chunk(c)
-				out := make([]float64, hi-lo)
+				lo, hi := rs.chunk(c)
+				out := rs.out[3*rank+s%3][:hi-lo]
 				copy(out, buf[lo:hi])
 				send <- out
 				in := <-recv
 				c2 := (rank - s - 1 + n) % n
-				lo2, _ := chunk(c2)
+				lo2, _ := rs.chunk(c2)
 				for i, v := range in {
 					buf[lo2+i] += v
 				}
@@ -73,13 +108,13 @@ func RingAllReduce(bufs [][]float64) {
 			// All-gather: circulate the completed chunks.
 			for s := 0; s < n-1; s++ {
 				c := (rank + 1 - s + n) % n
-				lo, hi := chunk(c)
-				out := make([]float64, hi-lo)
+				lo, hi := rs.chunk(c)
+				out := rs.out[3*rank+(n-1+s)%3][:hi-lo]
 				copy(out, buf[lo:hi])
 				send <- out
 				in := <-recv
 				c2 := (rank - s + n) % n
-				lo2, _ := chunk(c2)
+				lo2, _ := rs.chunk(c2)
 				copy(buf[lo2:lo2+len(in)], in)
 			}
 		}(rank)

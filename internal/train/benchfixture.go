@@ -1,0 +1,49 @@
+package train
+
+import (
+	"math/rand"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/nn"
+	"dapple/internal/schedule"
+)
+
+// BenchmarkFixture builds the canonical runtime benchmark workload — an
+// 11-layer MLP carved 3:3:3:2 with 2 replicas per stage on 8 flat devices,
+// M=8 micro-batches of 16 rows — used by BenchmarkExecutePlan, the
+// steady-state allocation gate, and `dapple-bench -exec`. One constructor
+// keeps all three measuring the same workload, so multi-core re-baselines
+// of BENCH_train.json stay comparable with the CI numbers.
+func BenchmarkFixture(pol schedule.Policy, seed int64) (*Executor, []Batch, error) {
+	master := nn.MLP([]int{32, 48, 48, 48, 48, 48, 8}, 42) // 11 layers
+	const rows, m, inDim = 16, 8, 32
+	mod, err := ProfileNetwork("bench-net", master, inDim, rows, rows*m)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := hardware.ConfigB(8)
+	stages := make([]core.Stage, 4)
+	lo, dev := 0, 0
+	for i, hi := range []int{3, 6, 9, 11} {
+		devs := make([]hardware.DeviceID, 2)
+		for r := range devs {
+			devs[r] = hardware.DeviceID(dev)
+			dev++
+		}
+		stages[i] = core.Stage{Lo: lo, Hi: hi, Devices: devs}
+		lo = hi
+	}
+	p := &core.Plan{Model: mod, Cluster: c, Stages: stages, GBS: rows * m, MicroBatch: rows}
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ex, err := NewExecutor(p, master, func() nn.Optimizer { return nn.SGD{LR: 0.01} },
+		ExecOptions{Policy: pol})
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	proj := NewQuadrantProblem(rng, inDim)
+	return ex, QuadrantBatches(rng, proj, m, rows), nil
+}

@@ -35,6 +35,18 @@ type ExecOptions struct {
 	// mirroring schedule.Options.MemLimit so real warmup matches simulated.
 	MemLimit int64
 
+	// PrefetchDepth bounds how many forward inputs each worker's receive
+	// prefetcher may assemble ahead of compute (0 = default 2, classic
+	// double-buffering). Depth only changes overlap, never event order: the
+	// recorded compute spans still follow the schedule exactly. Prefetched
+	// but not-yet-consumed inputs are transfer-side state OUTSIDE the stash
+	// memory model: they are not charged to MaxStash/MaxStashBytes (which
+	// mirror the simulator's stashed-for-backward accounting) nor bounded by
+	// MemLimit, so real resident bytes can exceed MaxStashBytes by up to
+	// depth+1 in-flight micro-batch inputs per device (depth buffered ready
+	// plus one assembled in the prefetcher's hand).
+	PrefetchDepth int
+
 	// NoTrace skips span recording, for benchmarks measuring pure execution.
 	NoTrace bool
 }
@@ -53,7 +65,9 @@ type ExecResult struct {
 	// stage (identical on every replica of a stage).
 	MaxStash []int
 	// MaxStashBytes is the peak stashed activation volume on any single
-	// device of each stage.
+	// device of each stage — the simulator's stashed-for-backward memory
+	// model. Transfer-side state (prefetched inputs, recycled link buffers)
+	// is excluded; see ExecOptions.PrefetchDepth.
 	MaxStashBytes []int64
 	// WallTime is the wall-clock duration of the step in seconds.
 	WallTime float64
@@ -72,21 +86,88 @@ type ExecResult struct {
 // span trace comparable to the simulator's. It is the runtime half of the
 // paper's workflow: the planner's output is executed, not only simulated.
 //
-// An Executor is not safe for concurrent Steps; gradients from any executed
-// plan match SequentialStep on the unpartitioned network to float tolerance.
+// The executor is allocation-free at steady state: every buffer a step
+// touches — layer activations and gradients (per-worker tensor.Pool
+// workspaces), link transfer buffers, all-reduce scratch, schedule orders,
+// span names, trace buffers — is owned by the Executor and reused across
+// Steps, so after one warm-up iteration with a given micro-batch geometry
+// the hot path spends its time in compute, not the allocator. Forward
+// receives are prefetched by a per-worker goroutine (double-buffered by
+// default) so cross-stage transfers overlap compute.
+//
+// An Executor is not safe for concurrent Steps (it reuses per-step state);
+// gradients from any executed plan match SequentialStep on the unpartitioned
+// network to float tolerance.
 type Executor struct {
 	plan *core.Plan
 	opts ExecOptions
 
 	stages []*estage
+
+	// Construction-time persistent state.
+	rec       *trace.Recorder // nil when tracing is off
+	resID     [][]int         // recorder resource per [stage][replica]
+	errs      [][]error       // per-step worker errors, reused
+	lossParts []float64       // last stage's per-replica loss, reused
+
+	// Geometry-dependent caches, rebuilt when (rows, m) changes or a step
+	// aborts with transfers in flight.
+	rtRows, rtM int
+	rtValid     bool
+	bounds      []*boundary
+	warmup      []int
+
+	ss stepState
 }
 
 // estage is one pipeline stage of an Executor: the carved layer range cloned
-// per replica, plus per-replica optimizers.
+// per replica, per-replica optimizers and worker state, the stage's gradient
+// all-reduce group, and the geometry-dependent schedule caches every replica
+// shares.
 type estage struct {
 	lo, hi int
 	nets   []*nn.Network
 	opts   []nn.Optimizer
+	work   []*workerState
+	ar     *arGroup
+
+	// Rebuilt by ensureRuntime per (rows, m) geometry.
+	offs     []int         // replica row offsets, len(nets)+1
+	order    []schedule.Op // the stage's FW/BW sequence
+	fwdOrder []int         // micro-batch ids in forward arrival order
+	fwdNames []string      // span names "F<m>.s<i>", reused every step
+	bwdNames []string      // span names "B<m>.s<i>"
+	arName   string        // span name "AR.s<i>"
+}
+
+// workerState is one replica worker's persistent runtime: its workspace
+// arena, cached parameter list, gradient flattening buffer, per-micro-batch
+// stash slots, and (stages > 0) its receive prefetcher.
+type workerState struct {
+	ws      *nn.Workspace
+	params  []nn.Param
+	gradBuf []float64
+
+	stashes []rstash         // indexed by micro-batch, len m
+	pending []*tensor.Matrix // last stage: pooled loss gradients
+	xHdrs   []tensor.Matrix  // stage 0: reusable input view headers
+	bparts  []*tensor.Matrix // recvBwd scratch
+	pf      *prefetcher      // stages > 0: forward-input prefetcher
+
+	liveStash int
+	curBytes  int64
+	maxStash  int
+	maxBytes  int64
+}
+
+// rstash holds one in-flight micro-batch's backward state on one replica.
+type rstash struct {
+	run    nn.WSRun
+	in     *tensor.Matrix      // forward input (view or assembled buffer)
+	inFree chan *tensor.Matrix // recycle destination for in (nil for views)
+	out    *tensor.Matrix      // recompute: detached output, held until bwd
+	bytes  int64
+	live   bool
 }
 
 // NewExecutor carves master into the plan's stages (one deep-copied network
@@ -113,10 +194,37 @@ func NewExecutor(p *core.Plan, master *nn.Network, optFactory func() nn.Optimize
 	for _, s := range p.Stages {
 		st := &estage{lo: s.Lo, hi: s.Hi}
 		for r := 0; r < s.Replicas(); r++ {
-			st.nets = append(st.nets, master.SliceClone(s.Lo, s.Hi))
+			net := master.SliceClone(s.Lo, s.Hi)
+			st.nets = append(st.nets, net)
 			st.opts = append(st.opts, optFactory())
+			st.work = append(st.work, &workerState{ws: nn.NewWorkspace(), params: net.Params()})
 		}
+		var size int
+		for _, pr := range st.work[0].params {
+			size += len(pr.G.Data)
+		}
+		if len(st.nets) > 1 {
+			for _, w := range st.work {
+				w.gradBuf = make([]float64, size)
+			}
+		}
+		st.ar = newARGroup(len(st.nets), size)
 		e.stages = append(e.stages, st)
+	}
+	e.errs = make([][]error, len(e.stages))
+	for i, st := range e.stages {
+		e.errs[i] = make([]error, len(st.nets))
+	}
+	e.lossParts = make([]float64, len(e.stages[len(e.stages)-1].nets))
+	if !opts.NoTrace {
+		e.rec = trace.NewRecorder()
+		e.resID = make([][]int, len(p.Stages))
+		for i, s := range p.Stages {
+			e.resID[i] = make([]int, len(s.Devices))
+			for r, d := range s.Devices {
+				e.resID[i][r] = e.rec.Resource(deviceResource(i, int(d)))
+			}
+		}
 	}
 	return e, nil
 }
@@ -146,41 +254,111 @@ func (e *Executor) NumStages() int { return len(e.stages) }
 // checks against a reference network.
 func (e *Executor) StageParams(i, r int) []nn.Param { return e.stages[i].nets[r].Params() }
 
-// stepState carries one Step's shared runtime: micro-batches, the link
-// layer, warmup depths, trace recording, and abort plumbing.
+// stepAbort is one step's abort latch. It is allocated per step (not reused)
+// so that a context.AfterFunc callback firing after its step already
+// returned closes its own dead latch instead of racing the next step's —
+// stop() does not wait for an in-flight callback.
+type stepAbort struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+// fire closes the latch once.
+func (a *stepAbort) fire() {
+	a.once.Do(func() { close(a.ch) })
+}
+
+// stepState carries one Step's shared runtime: micro-batches and abort
+// plumbing. It lives inside the Executor and is reset, not reallocated, per
+// step (except the abort latch — see stepAbort).
 type stepState struct {
 	micros []Batch
 	rows   int
 	m      int
-	warmup []int
-	bounds []*boundary
-	ars    []*arGroup
 
-	rec   *trace.Recorder // nil when tracing is off
-	resID [][]int         // recorder resource per [stage][replica]
-
-	abort     chan struct{}
-	abortOnce sync.Once
-
-	lossParts []float64
-	maxStash  [][]int
-	maxBytes  [][]int64
+	abort chan struct{} // the current step's stepAbort.ch
 }
 
 // now returns the recorder clock, or 0 when tracing is off.
-func (ss *stepState) now() float64 {
-	if ss.rec == nil {
+func (e *Executor) now() float64 {
+	if e.rec == nil {
 		return 0
 	}
-	return ss.rec.Now()
+	return e.rec.Now()
 }
 
 // record closes a span opened at start on the worker's resource.
-func (ss *stepState) record(stage, replica int, name, kind string, start float64) {
-	if ss.rec == nil {
+func (e *Executor) record(stage, replica int, name, kind string, start float64) {
+	if e.rec == nil {
 		return
 	}
-	ss.rec.Record(ss.resID[stage][replica], name, kind, start, ss.rec.Now())
+	e.rec.Record(e.resID[stage][replica], name, kind, start, e.rec.Now())
+}
+
+// ensureRuntime (re)builds the geometry-dependent caches — warmup depths,
+// boundaries with their transfer state, schedule orders, span-name tables,
+// stash slots and prefetchers — when the step geometry changed or the last
+// step aborted with links in an undefined state. A repeated geometry is a
+// no-op, which is what makes steady-state iterations allocation-free.
+func (e *Executor) ensureRuntime(rows, m int) error {
+	if e.rtValid && e.rtRows == rows && e.rtM == m {
+		return nil
+	}
+	warmup, err := schedule.WarmupDepths(e.plan, schedule.Options{
+		Policy: e.opts.Policy, Recompute: e.opts.Recompute, M: m, MemLimit: e.opts.MemLimit,
+	})
+	if err != nil {
+		return err
+	}
+	e.warmup = warmup
+	s := len(e.stages)
+	e.bounds = make([]*boundary, s-1)
+	for i := 0; i < s-1; i++ {
+		e.bounds[i] = newBoundary(rows, len(e.stages[i].nets), len(e.stages[i+1].nets), m)
+	}
+	depth := e.opts.PrefetchDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	for i, st := range e.stages {
+		st.offs = partition(rows, len(st.nets))
+		st.order = schedule.StageOrder(e.opts.Policy, m, warmup[i])
+		st.fwdOrder = st.fwdOrder[:0]
+		for _, o := range st.order {
+			if !o.Backward {
+				st.fwdOrder = append(st.fwdOrder, o.M)
+			}
+		}
+		st.fwdNames = make([]string, m)
+		st.bwdNames = make([]string, m)
+		for mb := 0; mb < m; mb++ {
+			st.fwdNames[mb] = fmt.Sprintf("F%d.s%d", mb, i)
+			st.bwdNames[mb] = fmt.Sprintf("B%d.s%d", mb, i)
+		}
+		st.arName = fmt.Sprintf("AR.s%d", i)
+		for r, w := range st.work {
+			w.stashes = make([]rstash, m)
+			w.pending = make([]*tensor.Matrix, m)
+			if i == 0 {
+				w.xHdrs = make([]tensor.Matrix, m)
+			}
+			if w.bparts == nil {
+				w.bparts = make([]*tensor.Matrix, 0, 4)
+			}
+			if i > 0 {
+				w.pf = &prefetcher{
+					bound: e.bounds[i-1],
+					q:     r,
+					rows:  st.offs[r+1] - st.offs[r],
+					ready: make(chan prefetched, depth),
+					free:  make(chan *tensor.Matrix, m),
+					parts: make([]*tensor.Matrix, 0, len(e.stages[i-1].nets)),
+				}
+			}
+		}
+	}
+	e.rtRows, e.rtM, e.rtValid = rows, m, true
+	return nil
 }
 
 // Step executes one training iteration over the micro-batches and applies
@@ -190,7 +368,12 @@ func (e *Executor) Step(micros []Batch) (*ExecResult, error) {
 }
 
 // StepContext is Step under a context: all worker goroutines unblock and the
-// step returns ctx.Err() once ctx is cancelled or past its deadline.
+// step returns ctx.Err() once ctx is cancelled or past its deadline. An
+// aborted step applies each stage's weight update all-or-nothing (see
+// arGroup.arrive/abandon), so replicas within a stage stay identical and the
+// executor remains usable; different stages may however land on different
+// iterations (some updated, some not), like any training step torn by
+// cancellation.
 func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult, error) {
 	s := len(e.stages)
 	m := len(micros)
@@ -211,70 +394,72 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 			return nil, fmt.Errorf("train: micro-batch of %d rows split across %d replicas of stage %d", rows, r, i)
 		}
 	}
-	warmup, err := schedule.WarmupDepths(e.plan, schedule.Options{
-		Policy: e.opts.Policy, Recompute: e.opts.Recompute, M: m, MemLimit: e.opts.MemLimit,
-	})
-	if err != nil {
+	if err := e.ensureRuntime(rows, m); err != nil {
 		return nil, err
 	}
 
-	ss := &stepState{
-		micros: micros, rows: rows, m: m, warmup: warmup,
-		bounds:    make([]*boundary, s-1),
-		ars:       make([]*arGroup, s),
-		abort:     make(chan struct{}),
-		lossParts: make([]float64, len(e.stages[s-1].nets)),
-		maxStash:  make([][]int, s),
-		maxBytes:  make([][]int64, s),
-	}
-	for i := 0; i < s-1; i++ {
-		ss.bounds[i] = newBoundary(rows, len(e.stages[i].nets), len(e.stages[i+1].nets), m)
+	// Per-step reset of the persistent runtime.
+	ss := &e.ss
+	ss.micros, ss.rows, ss.m = micros, rows, m
+	ab := &stepAbort{ch: make(chan struct{})}
+	ss.abort = ab.ch
+	if e.rec != nil {
+		e.rec.Reset()
 	}
 	for i, st := range e.stages {
-		ss.ars[i] = newARGroup(len(st.nets))
-		ss.maxStash[i] = make([]int, len(st.nets))
-		ss.maxBytes[i] = make([]int64, len(st.nets))
-	}
-	if !e.opts.NoTrace {
-		ss.rec = trace.NewRecorder()
-		ss.resID = make([][]int, s)
-		for i := range e.stages {
-			devs := e.plan.Stages[i].Devices
-			ss.resID[i] = make([]int, len(devs))
-			for r, d := range devs {
-				ss.resID[i][r] = ss.rec.Resource(deviceResource(i, int(d)))
-			}
+		st.ar.reset()
+		for r, w := range st.work {
+			w.liveStash, w.curBytes, w.maxStash, w.maxBytes = 0, 0, 0, 0
+			e.errs[i][r] = nil
 		}
 	}
+	for i := range e.lossParts {
+		e.lossParts[i] = 0
+	}
 
-	// A cancelled context aborts every blocked worker.
-	stop := context.AfterFunc(ctx, func() {
-		ss.abortOnce.Do(func() { close(ss.abort) })
-	})
+	// A cancelled context aborts every blocked worker. The callback captures
+	// this step's own latch: a late firing after the step returned must not
+	// touch the (reused) step state of a subsequent Step.
+	stop := context.AfterFunc(ctx, ab.fire)
 	defer stop()
 
 	wallStart := time.Now()
-	errs := make([][]error, s)
 	var wg sync.WaitGroup
 	for i, st := range e.stages {
-		errs[i] = make([]error, len(st.nets))
 		for r := range st.nets {
+			if w := st.work[r]; w.pf != nil {
+				// Prefetchers join the step's wait group: an aborted step's
+				// stale prefetcher must be fully exited before a later step
+				// rebuilds the state it reads.
+				wg.Add(1)
+				go func(pf *prefetcher, fwdOrder []int) {
+					defer wg.Done()
+					pf.run(fwdOrder, ss.abort)
+				}(w.pf, st.fwdOrder)
+			}
 			wg.Add(1)
 			go func(i, r int) {
 				defer wg.Done()
 				if err := e.runWorker(ss, i, r); err != nil {
-					errs[i][r] = err
-					ss.abortOnce.Do(func() { close(ss.abort) })
+					e.errs[i][r] = err
+					ab.fire()
 				}
 			}(i, r)
 		}
 	}
 	wg.Wait()
 	wall := time.Since(wallStart).Seconds()
+	select {
+	case <-ss.abort:
+		// Aborted steps leave transfers and pool leases in an undefined
+		// state; the next step rebuilds the runtime from scratch.
+		e.rtValid = false
+	default:
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for _, stageErrs := range errs {
+	for _, stageErrs := range e.errs {
 		for _, err := range stageErrs {
 			if err != nil && !errors.Is(err, errAborted) {
 				return nil, err
@@ -284,145 +469,250 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 
 	res := &ExecResult{
 		M:             m,
-		Warmup:        warmup,
+		Warmup:        append([]int(nil), e.warmup...),
 		MaxStash:      make([]int, s),
 		MaxStashBytes: make([]int64, s),
 		WallTime:      wall,
 	}
-	for _, l := range ss.lossParts {
+	for _, l := range e.lossParts {
 		res.Loss += l
 	}
 	res.Loss /= float64(m)
-	for i := range e.stages {
-		for r := range e.stages[i].nets {
-			res.MaxStash[i] = max(res.MaxStash[i], ss.maxStash[i][r])
-			res.MaxStashBytes[i] = max(res.MaxStashBytes[i], ss.maxBytes[i][r])
+	for i, st := range e.stages {
+		for _, w := range st.work {
+			res.MaxStash[i] = max(res.MaxStash[i], w.maxStash)
+			res.MaxStashBytes[i] = max(res.MaxStashBytes[i], w.maxBytes)
 		}
 	}
-	if ss.rec != nil {
-		res.Trace = ss.rec.Result()
+	if e.rec != nil {
+		res.Trace = e.rec.Result()
 	}
 	return res, nil
 }
 
-// rstash holds one in-flight micro-batch's backward state on one replica.
-type rstash struct {
-	input *tensor.Matrix
-	ctxs  []nn.Ctx
-	bytes int64
+// prefetched is one forward input delivered by a prefetcher, in schedule
+// order: the assembled micro-batch rows plus the recycle destination for the
+// buffer (nil when data is a zero-copy view into sender-owned storage).
+type prefetched struct {
+	m    int
+	data *tensor.Matrix
+	free chan *tensor.Matrix
+	err  error
 }
 
-// runWorker executes stage i's replica r: its slice of every micro-batch in
-// the policy's stage order, then the stage gradient sync and weight update.
-func (e *Executor) runWorker(ss *stepState, i, r int) error {
-	st := e.stages[i]
-	net := st.nets[r]
-	s := len(e.stages)
-	last := i == s-1
-	offs := partition(ss.rows, len(st.nets))
-	myLo, myHi := offs[r], offs[r+1]
-	myWeight := float64(myHi-myLo) / float64(ss.rows)
+// prefetcher receives and assembles one worker's forward inputs ahead of
+// compute on its own goroutine — the recv double-buffering of the ROADMAP's
+// overlap item. It delivers micro-batches in the stage's forward schedule
+// order; the bounded ready channel caps how far it runs ahead.
+type prefetcher struct {
+	bound *boundary
+	q     int
+	rows  int
+	ready chan prefetched
+	free  chan *tensor.Matrix
+	parts []*tensor.Matrix
+}
 
-	order := schedule.StageOrder(e.opts.Policy, ss.m, ss.warmup[i])
-	stashes := make(map[int]*rstash, ss.m)
-	pending := make(map[int]*tensor.Matrix, ss.m)
-	var loss float64
-	var curBytes int64
-
-	for _, o := range order {
-		if !o.Backward {
-			// ---- forward of micro-batch o.M ----
-			var x *tensor.Matrix
-			if i == 0 {
-				x = ss.micros[o.M].X.RowSlice(myLo, myHi)
-			} else {
-				var err error
-				x, err = ss.bounds[i-1].recvFwd(r, o.M, ss.abort)
-				if err != nil {
-					return err
+// run receives every forward input of one step in order, assembling
+// multi-sender parts into recycled buffers, until done or aborted.
+func (pf *prefetcher) run(fwdOrder []int, abort <-chan struct{}) {
+	for _, mb := range fwdOrder {
+		parts, err := pf.bound.recvFwdParts(pf.q, mb, pf.parts, abort)
+		if err != nil {
+			if err != errAborted {
+				select {
+				case pf.ready <- prefetched{err: err}:
+				case <-abort:
 				}
 			}
-			start := ss.now()
-			out, ctxs := net.Forward(x)
-			sh := &rstash{ctxs: ctxs}
-			for _, c := range ctxs {
-				sh.bytes += nn.StashBytes(c)
+			return
+		}
+		pf.parts = parts
+		var out prefetched
+		if len(parts) == 1 {
+			out = prefetched{m: mb, data: parts[0]}
+		} else {
+			dst := leaseBuf(pf.free, pf.rows, parts[0].Cols)
+			tensor.ConcatRowsInto(dst, parts...)
+			out = prefetched{m: mb, data: dst, free: pf.free}
+		}
+		select {
+		case pf.ready <- out:
+		case <-abort:
+			return
+		}
+	}
+}
+
+// runWorker executes stage i's replica r: the compute phase (its slice of
+// every micro-batch in the policy's stage order through the workspace
+// pooled-buffer path), then the stage gradient sync and weight update. A
+// compute-phase failure is reported to the stage's all-reduce group so peer
+// replicas neither hang nor commit a torn update.
+func (e *Executor) runWorker(ss *stepState, i, r int) error {
+	st := e.stages[i]
+	w := st.work[r]
+	loss, err := e.workerCompute(ss, i, r)
+	if err != nil {
+		st.ar.abandon()
+		return err
+	}
+
+	// Gradient sync and weight update (Fig. 10): sum replica gradients with
+	// a real ring all-reduce, average over micro-batches, apply identical
+	// updates per replica. arrive decides commit-or-abort atomically for the
+	// whole stage, so an aborted step can never leave replicas divergent.
+	start := e.now()
+	if len(st.nets) > 1 {
+		gradVectorInto(w.gradBuf, w.params)
+	}
+	if !st.ar.arrive(r, w.gradBuf) {
+		return errAborted
+	}
+	if len(st.nets) > 1 {
+		setGradVector(w.params, w.gradBuf)
+	}
+	scaleGrads(w.params, 1/float64(ss.m))
+	st.opts[r].Step(w.params)
+	e.record(i, r, st.arName, "allreduce", start)
+	if i == len(e.stages)-1 {
+		e.lossParts[r] = loss
+	}
+	return nil
+}
+
+// workerCompute is runWorker's schedule loop, returning the worker's loss
+// contribution (last stage only).
+func (e *Executor) workerCompute(ss *stepState, i, r int) (float64, error) {
+	st := e.stages[i]
+	w := st.work[r]
+	net := st.nets[r]
+	ws := w.ws
+	last := i == len(e.stages)-1
+	myLo, myHi := st.offs[r], st.offs[r+1]
+	myWeight := float64(myHi-myLo) / float64(ss.rows)
+
+	var loss float64
+	for _, o := range st.order {
+		if !o.Backward {
+			// ---- forward of micro-batch o.M ----
+			sh := &w.stashes[o.M]
+			var x *tensor.Matrix
+			if i == 0 {
+				hdr := &w.xHdrs[o.M]
+				ss.micros[o.M].X.RowSliceInto(hdr, myLo, myHi)
+				x = hdr
+				sh.inFree = nil
+			} else {
+				var in prefetched
+				select {
+				case in = <-w.pf.ready:
+				case <-ss.abort:
+					return 0, errAborted
+				}
+				if in.err != nil {
+					return 0, in.err
+				}
+				if in.m != o.M {
+					return 0, fmt.Errorf("train: stage %d expected F%d, got F%d", i, o.M, in.m)
+				}
+				x, sh.inFree = in.data, in.free
 			}
+			start := e.now()
+			out := net.ForwardWS(ws, x, &sh.run)
+			sh.in = x
 			if e.opts.Recompute {
-				sh.input = x.Clone()
-				sh.ctxs = nil
-				sh.bytes = int64(len(sh.input.Data)) * 8
+				sh.bytes = int64(len(x.Data)) * 8
+			} else {
+				sh.bytes = sh.run.StashBytes()
 			}
-			stashes[o.M] = sh
-			curBytes += sh.bytes
-			if len(stashes) > ss.maxStash[i][r] {
-				ss.maxStash[i][r] = len(stashes)
+			sh.live = true
+			w.liveStash++
+			w.curBytes += sh.bytes
+			if w.liveStash > w.maxStash {
+				w.maxStash = w.liveStash
 			}
-			if curBytes > ss.maxBytes[i][r] {
-				ss.maxBytes[i][r] = curBytes
+			if w.curBytes > w.maxBytes {
+				w.maxBytes = w.curBytes
 			}
 			if last {
 				// Per-slice loss and logits gradient, rescaled from the
 				// slice mean to the global micro-batch mean so replicated
 				// last stages reproduce the unreplicated gradient exactly.
-				l, dy := nn.SoftmaxCrossEntropy(out, ss.micros[o.M].Y[myLo:myHi])
+				g := ws.Get(out.Rows, out.Cols)
+				l := nn.SoftmaxCrossEntropyInto(g, out, ss.micros[o.M].Y[myLo:myHi])
 				loss += l * myWeight
-				dy.Scale(myWeight)
-				pending[o.M] = dy
+				g.Scale(myWeight)
+				w.pending[o.M] = g
 			}
-			ss.record(i, r, fmt.Sprintf("F%d.s%d", o.M, i), "fwd", start)
+			e.record(i, r, st.fwdNames[o.M], "fwd", start)
 			if !last {
-				ss.bounds[i].sendFwd(r, o.M, out)
+				e.bounds[i].sendFwd(r, o.M, out)
+			}
+			if e.opts.Recompute {
+				// Drop the activation state now; keep only the input (the
+				// stash the memory model charges) and the output, whose sent
+				// views the next stage reads until its backward of o.M.
+				sh.out = sh.run.DetachOutput()
+				net.DiscardWS(ws, &sh.run)
 			}
 			continue
 		}
 
 		// ---- backward of micro-batch o.M ----
+		sh := &w.stashes[o.M]
+		if !sh.live {
+			return 0, fmt.Errorf("train: stage %d backward B%d without stash", i, o.M)
+		}
 		var dy *tensor.Matrix
+		var dyFree chan *tensor.Matrix
 		if last {
-			dy = pending[o.M]
-			delete(pending, o.M)
+			dy = w.pending[o.M]
+			w.pending[o.M] = nil
 		} else {
 			var err error
-			dy, err = ss.bounds[i].recvBwd(r, o.M, ss.abort)
+			dy, dyFree, err = e.bounds[i].recvBwd(r, o.M, &w.bparts, ws, ss.abort)
 			if err != nil {
-				return err
+				return 0, err
 			}
 		}
-		sh := stashes[o.M]
-		if sh == nil {
-			return fmt.Errorf("train: stage %d backward B%d without stash", i, o.M)
-		}
-		start := ss.now()
+		start := e.now()
 		if e.opts.Recompute {
 			// Re-run the forward pass to regenerate activation contexts; the
 			// replay is part of the backward span, like the simulator charges
 			// re-computation to the backward task.
-			_, sh.ctxs = net.Forward(sh.input)
+			net.ForwardWS(ws, sh.in, &sh.run)
 		}
-		dx := net.Backward(sh.ctxs, dy)
-		delete(stashes, o.M)
-		curBytes -= sh.bytes
-		ss.record(i, r, fmt.Sprintf("B%d.s%d", o.M, i), "bwd", start)
+		dx := net.BackwardWS(ws, &sh.run, dy)
+		sh.live = false
+		w.liveStash--
+		w.curBytes -= sh.bytes
+		e.record(i, r, st.bwdNames[o.M], "bwd", start)
 		if i > 0 {
-			ss.bounds[i-1].sendBwd(r, o.M, dx)
+			e.bounds[i-1].sendBwd(r, o.M, dx)
 		}
+		// Release this micro-batch's buffers: the gradients, the forward
+		// input (back to its transfer ring when it was assembled), and in
+		// recompute mode the detached output.
+		if dx != dy {
+			ws.Put(dx)
+		}
+		if dyFree != nil {
+			recycle(dyFree, dy)
+		} else {
+			ws.Put(dy)
+		}
+		if sh.inFree != nil {
+			recycle(sh.inFree, sh.in)
+			sh.inFree = nil
+		}
+		if sh.out != nil {
+			ws.Put(sh.out)
+			sh.out = nil
+		}
+		sh.in = nil
 	}
-
-	// Gradient sync and weight update (Fig. 10): sum replica gradients with
-	// a real ring all-reduce, average over micro-batches, apply identical
-	// updates per replica.
-	start := ss.now()
-	if err := ss.ars[i].reduce(r, net.Params(), ss.abort); err != nil {
-		return err
-	}
-	scaleGrads(net.Params(), 1/float64(ss.m))
-	st.opts[r].Step(net.Params())
-	ss.record(i, r, fmt.Sprintf("AR.s%d", i), "allreduce", start)
-	if last {
-		ss.lossParts[r] = loss
-	}
-	return nil
+	return loss, nil
 }
 
 // VerifyOrder checks the sim-vs-real contract for one executed step: for
@@ -477,45 +767,100 @@ func spanSequence(r *sim.Result, res int) []string {
 	return out
 }
 
-// arGroup synchronizes one stage's replica gradients at iteration end: every
-// worker arrives with its flattened gradients, the last arrival runs the
-// ring all-reduce over all of them, and each worker leaves with the summed
-// vector scattered back into its parameters.
+// gradVectorInto flattens the parameters' gradients into buf, which must
+// have exactly the total gradient length.
+func gradVectorInto(buf []float64, params []nn.Param) {
+	at := 0
+	for _, p := range params {
+		copy(buf[at:], p.G.Data)
+		at += len(p.G.Data)
+	}
+	if at != len(buf) {
+		panic("train: gradient buffer length mismatch")
+	}
+}
+
+// arGroup synchronizes one stage's replica gradients at iteration end.
+// Every replica worker reports to the group exactly once per step — arrive
+// with its flattened gradients on success, abandon on any failure — and the
+// n-th report decides the stage's fate atomically: if all n arrived, the
+// last one runs the ring all-reduce (reusing the group's persistent ring
+// scratch) and commits; if any replica abandoned, nobody commits. Because
+// the decision is taken once, with complete information, an aborted step
+// can never apply a weight update on some replicas but not others. Waiters
+// block on done alone (no abort select): every peer's error path leads to
+// abandon, so done always closes. The group is reset — not reallocated —
+// every step.
 type arGroup struct {
 	mu      sync.Mutex
 	bufs    [][]float64
 	arrived int
+	failed  bool
+	commit  bool
 	done    chan struct{}
+	ring    *ringState
 }
 
-// newARGroup returns a single-use barrier for n replicas.
-func newARGroup(n int) *arGroup {
-	return &arGroup{bufs: make([][]float64, n), done: make(chan struct{})}
+// newARGroup returns a reusable barrier for n replicas of size-element
+// gradient vectors.
+func newARGroup(n, size int) *arGroup {
+	g := &arGroup{bufs: make([][]float64, n), done: make(chan struct{})}
+	if n > 1 && size > 0 {
+		g.ring = newRingState(n, size)
+	}
+	return g
 }
 
-// reduce is the per-worker rendezvous: it blocks until every replica of the
-// stage has contributed, then installs the all-reduced sum into params. It
-// returns errAborted when the step aborts before the stage completes.
-func (g *arGroup) reduce(r int, params []nn.Param, abort <-chan struct{}) error {
+// reset re-arms the barrier for the next step.
+func (g *arGroup) reset() {
+	g.arrived = 0
+	g.failed = false
+	g.commit = false
+	g.done = make(chan struct{})
+	for i := range g.bufs {
+		g.bufs[i] = nil
+	}
+}
+
+// abandon is a failed replica's report: it counts as the replica's arrival
+// and vetoes the stage's commit, releasing any waiting peers.
+func (g *arGroup) abandon() {
+	g.mu.Lock()
+	g.arrived++
+	g.failed = true
+	last := g.arrived == len(g.bufs)
+	done := g.done
+	g.mu.Unlock()
+	if last {
+		close(done)
+	}
+}
+
+// arrive contributes buf and blocks until every replica has reported,
+// returning whether the stage committed. On commit, every replica's buf
+// holds the bit-identical all-reduced sum.
+func (g *arGroup) arrive(r int, buf []float64) bool {
 	n := len(g.bufs)
 	if n == 1 {
-		return nil
+		return true
 	}
 	g.mu.Lock()
-	g.bufs[r] = GradVector(params)
+	g.bufs[r] = buf
 	g.arrived++
-	lastArrival := g.arrived == n
+	last := g.arrived == n
+	failed := g.failed
+	done := g.done
 	g.mu.Unlock()
-	if lastArrival {
-		RingAllReduce(g.bufs)
-		close(g.done)
-	} else {
-		select {
-		case <-g.done:
-		case <-abort:
-			return errAborted
+	if last {
+		if !failed {
+			if g.ring != nil { // nil for parameter-free stages (nothing to sum)
+				g.ring.allReduce(g.bufs)
+			}
+			g.commit = true // written before close(done), read after it
 		}
+		close(done)
+	} else {
+		<-done
 	}
-	setGradVector(params, g.bufs[r])
-	return nil
+	return g.commit
 }

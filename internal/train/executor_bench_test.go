@@ -3,45 +3,21 @@ package train
 import (
 	"testing"
 
-	"dapple/internal/core"
-	"dapple/internal/hardware"
-	"dapple/internal/nn"
 	"dapple/internal/schedule"
 )
 
-// benchSetup builds the replicated 4-stage benchmark fixture: an 11-layer MLP
-// carved 3:3:3:2 with 2 replicas per stage on 8 flat devices, M=8
-// micro-batches of 16 rows.
-func benchSetup(b *testing.B, pol schedule.Policy) (*Executor, []Batch) {
+// benchSetup wraps the shared BenchmarkFixture (11-layer MLP carved 3:3:3:2,
+// 2 replicas per stage on 8 flat devices, M=8 micro-batches of 16 rows) for
+// BenchmarkExecutePlan and the steady-state allocation gate. The same
+// constructor backs `dapple-bench -exec`, keeping every measurement of this
+// workload comparable.
+func benchSetup(b testing.TB, pol schedule.Policy) (*Executor, []Batch) {
 	b.Helper()
-	master := nn.MLP([]int{32, 48, 48, 48, 48, 48, 8}, 42) // 11 layers
-	const rows, m = 16, 8
-	mod, err := ProfileNetwork("bench-net", master, 32, rows, rows*m)
+	ex, micros, err := BenchmarkFixture(pol, 7)
 	if err != nil {
 		b.Fatal(err)
 	}
-	c := hardware.ConfigB(8)
-	stages := make([]core.Stage, 4)
-	lo, dev := 0, 0
-	for i, hi := range []int{3, 6, 9, 11} {
-		devs := make([]hardware.DeviceID, 2)
-		for r := range devs {
-			devs[r] = hardware.DeviceID(dev)
-			dev++
-		}
-		stages[i] = core.Stage{Lo: lo, Hi: hi, Devices: devs}
-		lo = hi
-	}
-	p := &core.Plan{Model: mod, Cluster: c, Stages: stages, GBS: rows * m, MicroBatch: rows}
-	if err := p.Validate(); err != nil {
-		b.Fatal(err)
-	}
-	ex, err := NewExecutor(p, master, func() nn.Optimizer { return nn.SGD{LR: 0.01} },
-		ExecOptions{Policy: pol})
-	if err != nil {
-		b.Fatal(err)
-	}
-	return ex, makeMicros(m, rows, 32, 8, 7)
+	return ex, micros
 }
 
 // BenchmarkExecutePlan measures one really-executed training iteration of a

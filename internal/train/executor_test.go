@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	_ "dapple/internal/baselines" // register baseline strategies
 	"dapple/internal/core"
@@ -426,6 +427,40 @@ func TestExecutorContextCancel(t *testing.T) {
 	cancel()
 	if _, err := ex.StepContext(ctx, makeMicros(4, 4, 4, 2, 9)); err != context.Canceled {
 		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestAbortKeepsReplicasConsistent cancels steps at varying points and
+// checks the all-or-nothing commit of arGroup.arrive/abandon: whatever a cancelled
+// step managed to apply, every replica of a stage must hold bit-identical
+// parameters afterwards (updates are identical per replica, so divergence
+// can only come from a torn commit).
+func TestAbortKeepsReplicasConsistent(t *testing.T) {
+	master := nn.MLP([]int{6, 12, 10, 3}, 33) // 5 layers
+	p := mkPlan(t, master, 6, 6, 6, []int{3, 5}, []int{2, 2})
+	ex, err := NewExecutor(p, master, func() nn.Optimizer { return nn.SGD{LR: 0.05} },
+		ExecOptions{Policy: schedule.DapplePA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	micros := makeMicros(6, 6, 6, 3, 19)
+	for trial := 0; trial < 30; trial++ {
+		ctx, cancel := context.WithTimeout(context.Background(),
+			time.Duration(trial%6)*200*time.Microsecond)
+		_, stepErr := ex.StepContext(ctx, micros) // may succeed or abort
+		cancel()
+		for si, s := range p.Stages {
+			base := ex.StageParams(si, 0)
+			for r := 1; r < s.Replicas(); r++ {
+				got := ex.StageParams(si, r)
+				for i := range got {
+					if d := tensor.MaxAbsDiff(got[i].W, base[i].W); d != 0 {
+						t.Fatalf("trial %d (err=%v): stage %d replica %d diverged from replica 0 by %g",
+							trial, stepErr, si, r, d)
+					}
+				}
+			}
+		}
 	}
 }
 

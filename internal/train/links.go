@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 
+	"dapple/internal/nn"
 	"dapple/internal/tensor"
 )
 
@@ -29,6 +30,52 @@ type linkMsg struct {
 	data *tensor.Matrix
 }
 
+// fwdChan is one forward (activation) edge of a boundary cut. Forward
+// transfers are zero-copy: the sender publishes a view of its output through
+// a reusable per-micro-batch header, which is safe because the sender's
+// output buffer stays leased until the sender's own backward of that
+// micro-batch — and pipeline causality (the backward gradient flows receiver
+// → sender) guarantees the receiver is completely done reading by then.
+type fwdChan struct {
+	lo, hi int // global-row intersection of sender and receiver parts
+	ch     chan linkMsg
+	hdrs   []tensor.Matrix // per-micro-batch view headers, reused across steps
+}
+
+// bwdChan is one backward (gradient) edge of a boundary cut. Backward
+// transfers copy into recycled fixed-shape buffers (the producer releases
+// its gradient buffer right after sending, so views would dangle); consumers
+// return buffers through free once the gradient is consumed.
+type bwdChan struct {
+	lo, hi int
+	ch     chan linkMsg
+	free   chan *tensor.Matrix
+}
+
+// leaseBuf leases a rows x cols transfer buffer from a free list: recycled
+// when one of the right shape is available, freshly allocated otherwise
+// (only before the steady state). Shared by the backward transfer rings and
+// the forward prefetcher's assembly ring.
+func leaseBuf(free chan *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	select {
+	case b := <-free:
+		if b.Rows == rows && b.Cols == cols {
+			return b
+		}
+	default:
+	}
+	return tensor.New(rows, cols)
+}
+
+// recycle returns a consumed transfer buffer, dropping it when the free list
+// is full.
+func recycle(free chan *tensor.Matrix, b *tensor.Matrix) {
+	select {
+	case free <- b:
+	default:
+	}
+}
+
 // boundary wires one stage cut of the pipeline: a channel matrix between the
 // sender stage's replicas and the receiver stage's replicas realizing the
 // paper's split/concat semantics (§V-B2). Each replica owns a contiguous
@@ -36,12 +83,15 @@ type linkMsg struct {
 // sender's range intersects a receiver's, so unequal replication degrees
 // redistribute rows without any central concat node. Forward (activations)
 // and backward (gradients) directions use separate channels, mirroring the
-// simulator's full-duplex link resources.
+// simulator's full-duplex link resources. A boundary is built once per step
+// geometry and all its transfer state — view headers forward, recycled
+// buffers backward — is reused across training iterations, so a warm
+// boundary moves every micro-batch with zero allocation.
 type boundary struct {
-	sendOffs []int // sender-stage row offsets, len(senders)+1
-	recvOffs []int // receiver-stage row offsets, len(receivers)+1
-	fwd      [][]chan linkMsg
-	bwd      [][]chan linkMsg
+	sendOffs []int        // sender-stage row offsets, len(senders)+1
+	recvOffs []int        // receiver-stage row offsets, len(receivers)+1
+	fwd      [][]*fwdChan // [sender][receiver]
+	bwd      [][]*bwdChan // [sender][receiver]
 }
 
 // newBoundary builds the channel matrix for a cut between rs sender replicas
@@ -51,16 +101,24 @@ func newBoundary(rows, rs, rr, m int) *boundary {
 	b := &boundary{
 		sendOffs: partition(rows, rs),
 		recvOffs: partition(rows, rr),
-		fwd:      make([][]chan linkMsg, rs),
-		bwd:      make([][]chan linkMsg, rs),
+		fwd:      make([][]*fwdChan, rs),
+		bwd:      make([][]*bwdChan, rs),
 	}
 	for s := 0; s < rs; s++ {
-		b.fwd[s] = make([]chan linkMsg, rr)
-		b.bwd[s] = make([]chan linkMsg, rr)
+		b.fwd[s] = make([]*fwdChan, rr)
+		b.bwd[s] = make([]*bwdChan, rr)
 		for q := 0; q < rr; q++ {
 			if lo, hi := intersect(b.sendOffs, s, b.recvOffs, q); hi > lo {
-				b.fwd[s][q] = make(chan linkMsg, m)
-				b.bwd[s][q] = make(chan linkMsg, m)
+				b.fwd[s][q] = &fwdChan{
+					lo: lo, hi: hi,
+					ch:   make(chan linkMsg, m),
+					hdrs: make([]tensor.Matrix, m),
+				}
+				b.bwd[s][q] = &bwdChan{
+					lo: lo, hi: hi,
+					ch:   make(chan linkMsg, m),
+					free: make(chan *tensor.Matrix, m),
+				}
 			}
 		}
 	}
@@ -76,30 +134,36 @@ func intersect(sendOffs []int, s int, recvOffs []int, q int) (int, int) {
 }
 
 // sendFwd scatters sender replica s's forward output (its local rows) to
-// every receiver whose row range intersects. Slices are views — the sender
-// must not mutate data after sending, which the executor guarantees by never
-// reusing stage outputs.
+// every receiver whose row range intersects, publishing views through the
+// per-micro-batch header ring — no copy, no allocation. The sender must keep
+// data's storage leased until its own backward of micro-batch m (the
+// executor's run ownership does), which by pipeline causality outlives every
+// receiver's reads.
 func (b *boundary) sendFwd(s, m int, data *tensor.Matrix) {
 	srcLo := b.sendOffs[s]
 	for q := range b.fwd[s] {
-		if ch := b.fwd[s][q]; ch != nil {
-			lo, hi := intersect(b.sendOffs, s, b.recvOffs, q)
-			ch <- linkMsg{m, data.RowSlice(lo-srcLo, hi-srcLo)}
+		if fc := b.fwd[s][q]; fc != nil {
+			hdr := &fc.hdrs[m]
+			data.RowSliceInto(hdr, fc.lo-srcLo, fc.hi-srcLo)
+			fc.ch <- linkMsg{m, hdr}
 		}
 	}
 }
 
-// recvFwd gathers receiver replica q's forward input rows from every
-// intersecting sender, concatenating pieces in global row order.
-func (b *boundary) recvFwd(q, m int, abort <-chan struct{}) (*tensor.Matrix, error) {
-	var parts []*tensor.Matrix
+// recvFwdParts receives receiver replica q's forward input parts for
+// micro-batch m in sender order, reusing the caller's scratch slice. The
+// parts are views into sender-owned storage; callers must be done reading
+// before their own backward of m completes (they are: the stashes that
+// reference them die with that backward).
+func (b *boundary) recvFwdParts(q, m int, scratch []*tensor.Matrix, abort <-chan struct{}) ([]*tensor.Matrix, error) {
+	parts := scratch[:0]
 	for s := range b.fwd {
-		ch := b.fwd[s][q]
-		if ch == nil {
+		fc := b.fwd[s][q]
+		if fc == nil {
 			continue
 		}
 		select {
-		case in := <-ch:
+		case in := <-fc.ch:
 			if in.m != m {
 				return nil, fmt.Errorf("train: link expected F%d, got F%d", m, in.m)
 			}
@@ -108,48 +172,61 @@ func (b *boundary) recvFwd(q, m int, abort <-chan struct{}) (*tensor.Matrix, err
 			return nil, errAborted
 		}
 	}
-	return assemble(parts), nil
+	return parts, nil
 }
 
 // sendBwd scatters receiver replica q's input gradient back to every
-// intersecting sender replica of the previous stage.
+// intersecting sender replica of the previous stage, copying into recycled
+// transfer buffers (data may be released by the caller immediately after).
 func (b *boundary) sendBwd(q, m int, data *tensor.Matrix) {
 	srcLo := b.recvOffs[q]
+	cols := data.Cols
 	for s := range b.bwd {
-		if ch := b.bwd[s][q]; ch != nil {
-			lo, hi := intersect(b.sendOffs, s, b.recvOffs, q)
-			ch <- linkMsg{m, data.RowSlice(lo-srcLo, hi-srcLo)}
+		if bc := b.bwd[s][q]; bc != nil {
+			buf := leaseBuf(bc.free, bc.hi-bc.lo, cols)
+			copy(buf.Data, data.Data[(bc.lo-srcLo)*cols:(bc.hi-srcLo)*cols])
+			bc.ch <- linkMsg{m, buf}
 		}
 	}
 }
 
-// recvBwd gathers sender replica s's output gradient rows from every
-// intersecting receiver replica of the next stage.
-func (b *boundary) recvBwd(s, m int, abort <-chan struct{}) (*tensor.Matrix, error) {
-	var parts []*tensor.Matrix
+// recvBwd gathers sender replica s's output gradient for micro-batch m. A
+// single full-range part passes through zero-copy together with its recycle
+// destination; multiple parts are concatenated into a workspace buffer
+// (free == nil) with the transfer buffers recycled immediately. Either way
+// the caller owns the returned gradient until it returns it: to free when
+// non-nil, to ws otherwise.
+func (b *boundary) recvBwd(s, m int, scratch *[]*tensor.Matrix, ws *nn.Workspace, abort <-chan struct{}) (*tensor.Matrix, chan *tensor.Matrix, error) {
+	parts := (*scratch)[:0]
+	defer func() { *scratch = parts[:0] }()
+	var single *bwdChan
 	for q := range b.bwd[s] {
-		ch := b.bwd[s][q]
-		if ch == nil {
+		bc := b.bwd[s][q]
+		if bc == nil {
 			continue
 		}
+		single = bc
 		select {
-		case in := <-ch:
+		case in := <-bc.ch:
 			if in.m != m {
-				return nil, fmt.Errorf("train: link expected B%d, got B%d", m, in.m)
+				return nil, nil, fmt.Errorf("train: link expected B%d, got B%d", m, in.m)
 			}
 			parts = append(parts, in.data)
 		case <-abort:
-			return nil, errAborted
+			return nil, nil, errAborted
 		}
 	}
-	return assemble(parts), nil
-}
-
-// assemble concatenates received row blocks; a single block passes through
-// without copying.
-func assemble(parts []*tensor.Matrix) *tensor.Matrix {
 	if len(parts) == 1 {
-		return parts[0]
+		return parts[0], single.free, nil
 	}
-	return tensor.ConcatRows(parts...)
+	dst := ws.Get(b.sendOffs[s+1]-b.sendOffs[s], parts[0].Cols)
+	tensor.ConcatRowsInto(dst, parts...)
+	k := 0
+	for q := range b.bwd[s] {
+		if bc := b.bwd[s][q]; bc != nil {
+			recycle(bc.free, parts[k])
+			k++
+		}
+	}
+	return dst, nil, nil
 }

@@ -1,11 +1,16 @@
 package train
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"dapple/internal/model"
 	"dapple/internal/nn"
+	"dapple/internal/sim"
 	"dapple/internal/tensor"
+	"dapple/internal/trace"
 )
 
 // synthFLOPS is the synthetic device throughput ProfileNetwork converts
@@ -64,4 +69,186 @@ func ProfileNetwork(name string, net *nn.Network, inDim, profileBatch, defaultGB
 		return nil, err
 	}
 	return m, nil
+}
+
+// MeasureOptions configure ProfileNetworkMeasured's calibration loop.
+type MeasureOptions struct {
+	// Warmup is the number of untimed iterations run first, so pools,
+	// caches and branch predictors are hot before anything is recorded
+	// (default 2).
+	Warmup int
+	// Iters is the number of recorded iterations whose per-layer span
+	// durations are aggregated by median (default 5).
+	Iters int
+}
+
+// normalize applies defaults.
+func (mo MeasureOptions) normalize() MeasureOptions {
+	if mo.Warmup <= 0 {
+		mo.Warmup = 2
+	}
+	if mo.Iters <= 0 {
+		mo.Iters = 5
+	}
+	return mo
+}
+
+// measuredTimeFloor is the smallest per-layer time a measured profile
+// reports: clock-resolution zeros would make layers free and degenerate the
+// planner's balance search.
+const measuredTimeFloor = 1e-9
+
+// ProfileNetworkMeasured is ProfileNetwork with MEASURED per-layer compute
+// times: instead of converting analytic FLOP counts through a synthetic
+// device speed, it executes warm calibration iterations of the network's
+// workspace (pooled-buffer) path — the same kernels the real executor runs —
+// records every layer's forward and backward pass as trace.Recorder spans,
+// and aggregates the span durations by median. This is the paper's actual
+// profiler loop (and PipeDream's): plans for real networks are calibrated by
+// real execution, closing the ROADMAP's "real-runtime profiling hooks" item.
+//
+// Byte accounting (output/stashed/parameter volumes) is identical to
+// ProfileNetwork's probe, so an analytic and a measured profile of one
+// network differ only in their time columns. The calibration runs on a clone;
+// net's parameters and gradients are untouched. ctx is checked between
+// calibration iterations, so deadlines and ctrl-C bound the loop.
+func ProfileNetworkMeasured(ctx context.Context, name string, net *nn.Network, inDim, profileBatch, defaultGBS int, mo MeasureOptions) (*model.Model, error) {
+	m, _, err := ProfileNetworkMeasuredTrace(ctx, name, net, inDim, profileBatch, defaultGBS, mo)
+	return m, err
+}
+
+// ProfileNetworkMeasuredTrace is ProfileNetworkMeasured returning also the
+// calibration trace the times were aggregated from: one resource "L<i>" per
+// layer with "fwd"/"bwd" spans per recorded iteration, so callers (and
+// tests) can audit exactly which measurements produced each model time.
+func ProfileNetworkMeasuredTrace(ctx context.Context, name string, net *nn.Network, inDim, profileBatch, defaultGBS int, mo MeasureOptions) (*model.Model, *sim.Result, error) {
+	m, err := ProfileNetwork(name, net, inDim, profileBatch, defaultGBS)
+	if err != nil {
+		return nil, nil, err
+	}
+	mo = mo.normalize()
+
+	cal := net.Clone()
+	ws := nn.NewWorkspace()
+	rng := rand.New(rand.NewSource(42))
+	x0 := tensor.New(profileBatch, inDim)
+	// Non-zero calibration inputs: the matmul kernels skip zero elements, so
+	// zeros would time an unrealistically sparse pass.
+	x0.Randomize(rng, 1)
+
+	nL := cal.NumLayers()
+	rec := trace.NewRecorder()
+	layerRes := make([]int, nL)
+	fwdNames := make([]string, nL)
+	bwdNames := make([]string, nL)
+	for i := range layerRes {
+		layerRes[i] = rec.Resource(fmt.Sprintf("L%d", i))
+		fwdNames[i] = fmt.Sprintf("F.L%d", i)
+		bwdNames[i] = fmt.Sprintf("B.L%d", i)
+	}
+	params := cal.Params()
+	outs := make([]*tensor.Matrix, nL)
+	ctxs := make([]nn.Ctx, nL)
+
+	iteration := func(record bool) {
+		x := x0
+		for i, l := range cal.Layers {
+			t0 := rec.Now()
+			var y *tensor.Matrix
+			var c nn.Ctx
+			if wl, ok := l.(nn.WorkspaceLayer); ok {
+				y, c = wl.ForwardWS(ws, x)
+			} else {
+				y, c = l.Forward(x)
+			}
+			if record {
+				rec.Record(layerRes[i], fwdNames[i], "fwd", t0, rec.Now())
+			}
+			outs[i], ctxs[i] = y, c
+			x = y
+		}
+		// A constant synthetic output gradient: backward cost does not depend
+		// on gradient values, only on shapes.
+		orig := ws.Get(x.Rows, x.Cols)
+		for i := range orig.Data {
+			orig.Data[i] = 1 / float64(len(orig.Data))
+		}
+		dy := orig
+		for i := nL - 1; i >= 0; i-- {
+			l := cal.Layers[i]
+			t0 := rec.Now()
+			var dx *tensor.Matrix
+			if wl, ok := l.(nn.WorkspaceLayer); ok {
+				dx = wl.BackwardWS(ws, ctxs[i], dy)
+			} else {
+				dx = l.Backward(ctxs[i], dy)
+			}
+			if record {
+				rec.Record(layerRes[i], bwdNames[i], "bwd", t0, rec.Now())
+			}
+			if dx != dy && dy != orig {
+				ws.Put(dy)
+			}
+			dy = dx
+		}
+		if dy != orig {
+			ws.Put(dy)
+		}
+		ws.Put(orig)
+		for i, y := range outs {
+			ws.Put(y)
+			outs[i], ctxs[i] = nil, nil
+		}
+		for _, p := range params {
+			p.G.Zero()
+		}
+	}
+
+	for it := 0; it < mo.Warmup; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		iteration(false)
+	}
+	rec.Reset()
+	for it := 0; it < mo.Iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		iteration(true)
+	}
+
+	calTrace := rec.Result()
+	fwdSamples := make([][]float64, nL)
+	bwdSamples := make([][]float64, nL)
+	for _, s := range calTrace.Spans {
+		switch s.Kind {
+		case "fwd":
+			fwdSamples[s.Resource] = append(fwdSamples[s.Resource], s.End-s.Start)
+		case "bwd":
+			bwdSamples[s.Resource] = append(bwdSamples[s.Resource], s.End-s.Start)
+		}
+	}
+	for i := range m.Layers {
+		m.Layers[i].FwdTime = max(median(fwdSamples[i]), measuredTimeFloor)
+		m.Layers[i].BwdTime = max(median(bwdSamples[i]), measuredTimeFloor)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return m, calTrace, nil
+}
+
+// median returns the middle value of samples (mean of the middle pair for
+// even counts), 0 for an empty slice. samples is sorted in place.
+func median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	mid := len(samples) / 2
+	if len(samples)%2 == 1 {
+		return samples[mid]
+	}
+	return (samples[mid-1] + samples[mid]) / 2
 }
