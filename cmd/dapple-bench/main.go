@@ -33,6 +33,7 @@ import (
 	"dapple/internal/schedule"
 	"dapple/internal/stats"
 	"dapple/internal/train"
+	"dapple/internal/transport"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	execMode := flag.Bool("exec", false, "benchmark the real training runtime instead of the simulator sweeps")
 	execIters := flag.Int("exec-iters", 50, "timed iterations per policy in -exec mode (after 3 warm-up iterations)")
+	execTransport := flag.String("exec-transport", "inproc", "-exec data plane: 'inproc' (single-process executor) or 'tcp' (2-worker coordinator session over loopback sockets)")
 	planFlags := cliutil.RegisterPlanFlags()
 	profFlags := cliutil.RegisterProfileFlags()
 	seed := cliutil.RegisterSeedFlag()
@@ -69,7 +71,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-exec-iters must be >= 1 (got %d)\n", *execIters)
 			os.Exit(1)
 		}
-		runExecBench(ctx, *execIters, *seed)
+		switch *execTransport {
+		case "inproc":
+			runExecBench(ctx, *execIters, *seed)
+		case "tcp":
+			runExecBenchTCP(ctx, *execIters, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -exec-transport %q (want inproc or tcp)\n", *execTransport)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -147,5 +157,119 @@ func runExecBench(ctx context.Context, iters int, seed int64) {
 			(m2.TotalAlloc-m1.TotalAlloc)/uint64(iters),
 			(m2.Mallocs-m1.Mallocs)/uint64(iters),
 			stats.Seconds(wall.Seconds()))
+	}
+}
+
+// runExecBenchTCP times the same workload as runExecBench through the full
+// distributed session protocol: two workers plus a coordinator, each on its
+// own TCP transport over 127.0.0.1, with the fixture's four stages placed
+// alternately (stage i on rank i%2) so every stage boundary crosses a socket.
+// The processes are goroutines sharing one heap, so B/iter and allocs/iter
+// cover all three roles; "wire" is bytes sent across all transports, from
+// their frame counters.
+func runExecBenchTCP(ctx context.Context, iters int, seed int64) {
+	fmt.Printf("exec benchmark (tcp loopback, 2 workers + coordinator): %d iterations/policy, GOMAXPROCS=%d\n",
+		iters, runtime.GOMAXPROCS(0))
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "stopped: %v\n", err)
+		os.Exit(1)
+	}
+	for _, tc := range []struct {
+		name string
+		pol  schedule.Policy
+	}{
+		{"GPipe", schedule.GPipe},
+		{"DAPPLE", schedule.DapplePA},
+	} {
+		p, master, micros, err := train.BenchmarkWorkload(seed)
+		if err != nil {
+			fail(err)
+		}
+		// Stage i's device pair {2i, 2i+1} maps to rank i%2: every
+		// activation/gradient boundary is cross-rank, replica all-reduces
+		// stay rank-local.
+		deviceRanks := make([]int, p.Cluster.NumDevices())
+		for d := range deviceRanks {
+			deviceRanks[d] = (d / 2) % 2
+		}
+
+		w0t, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		w1t, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		w0t.SetRank(0)
+		w1t.SetRank(1)
+		ct := transport.NewTCP()
+		ct.SetRank(2)
+		if err := w1t.Dial(ctx, 0, w0t.Addr()); err != nil {
+			fail(err)
+		}
+		if err := ct.Dial(ctx, 0, w0t.Addr()); err != nil {
+			fail(err)
+		}
+		if err := ct.Dial(ctx, 1, w1t.Addr()); err != nil {
+			fail(err)
+		}
+		if err := w0t.WaitPeers(ctx, []int{1, 2}); err != nil {
+			fail(err)
+		}
+		if err := w1t.WaitPeers(ctx, []int{0, 2}); err != nil {
+			fail(err)
+		}
+
+		workers := []*train.Worker{train.NewWorker(w0t, 0), train.NewWorker(w1t, 1)}
+		served := make(chan error, len(workers))
+		for _, w := range workers {
+			go func(w *train.Worker) { served <- w.Serve(ctx) }(w)
+		}
+		coord, err := train.NewCoordinator(ctx, ct, p, master,
+			train.OptSpec{Kind: "sgd", LR: 0.01},
+			train.ExecOptions{Policy: tc.pol}, deviceRanks, len(workers))
+		if err != nil {
+			fail(err)
+		}
+
+		for i := 0; i < 3; i++ { // reach the allocation steady state
+			if _, err := coord.Step(ctx, micros); err != nil {
+				fail(err)
+			}
+		}
+		wire := func() int64 {
+			return w0t.Stats().BytesSent + w1t.Stats().BytesSent + ct.Stats().BytesSent
+		}
+		var m1, m2 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		wire1 := wire()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := coord.Step(ctx, micros); err != nil {
+				fail(err)
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m2)
+		wire2 := wire()
+		perIter := wall / time.Duration(iters)
+		fmt.Printf("  %-7s %s/iter  %6d B/iter  %4d allocs/iter  %s wire/iter  (%s total)\n",
+			tc.name,
+			stats.Seconds(perIter.Seconds()),
+			(m2.TotalAlloc-m1.TotalAlloc)/uint64(iters),
+			(m2.Mallocs-m1.Mallocs)/uint64(iters),
+			stats.Bytes((wire2-wire1)/int64(iters)),
+			stats.Seconds(wall.Seconds()))
+
+		if err := coord.Close(); err != nil {
+			fail(err)
+		}
+		for range workers {
+			if err := <-served; err != nil {
+				fail(err)
+			}
+		}
 	}
 }

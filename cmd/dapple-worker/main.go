@@ -1,0 +1,91 @@
+// Command dapple-worker hosts one rank of a multi-process DAPPLE training
+// session: the stage replicas whose devices the coordinator's placement maps
+// to this rank. It listens for mesh connections, dials every lower-ranked
+// worker, then serves the coordinator protocol — manifest, weight broadcast,
+// gated training steps — until shutdown.
+//
+// Usage (rank r dials the r lower-ranked workers, in rank order):
+//
+//	dapple-worker -rank 0 -listen 127.0.0.1:7700
+//	dapple-worker -rank 1 -listen 127.0.0.1:7701 -peers 127.0.0.1:7700
+//
+// then point the coordinator at the workers:
+//
+//	dapple -execute -exec-workers 127.0.0.1:7700,127.0.0.1:7701 ...
+//
+// The session is fail-stop: any error anywhere ends every process's session,
+// and the worker exits non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"dapple/internal/train"
+	"dapple/internal/transport"
+)
+
+func main() {
+	var (
+		rank    = flag.Int("rank", -1, "this worker's rank (0-based, dense)")
+		listen  = flag.String("listen", "127.0.0.1:0", "address to accept mesh connections on")
+		peers   = flag.String("peers", "", "comma-separated addresses of workers 0..rank-1, in rank order")
+		timeout = flag.Duration("dial-timeout", 30*time.Second, "time limit for connecting the worker mesh")
+	)
+	flag.Parse()
+	if *rank < 0 {
+		fatalf("dapple-worker: -rank is required")
+	}
+	var peerAddrs []string
+	if *peers != "" {
+		peerAddrs = strings.Split(*peers, ",")
+	}
+	if len(peerAddrs) != *rank {
+		fatalf("dapple-worker: rank %d needs %d -peers addresses, got %d", *rank, *rank, len(peerAddrs))
+	}
+
+	t, err := transport.ListenTCP(*listen)
+	if err != nil {
+		fatalf("dapple-worker: %v", err)
+	}
+	defer t.Close()
+	t.SetRank(*rank)
+	// The coordinator (and the smoke harness) scrape this line for the
+	// resolved address, so port 0 works.
+	fmt.Printf("dapple-worker: rank %d listening on %s\n", *rank, t.Addr())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	dialCtx, dialCancel := context.WithTimeout(ctx, *timeout)
+	defer dialCancel()
+	// Retrying dial makes bring-up order-free: all workers (and the
+	// coordinator) may launch simultaneously within the dial timeout.
+	for q, addr := range peerAddrs {
+		if err := t.DialRetry(dialCtx, q, addr); err != nil {
+			fatalf("dapple-worker: dial rank %d at %s: %v", q, addr, err)
+		}
+	}
+
+	if err := train.NewWorker(t, *rank).Serve(ctx); err != nil {
+		fatalf("dapple-worker: rank %d: %v", *rank, err)
+	}
+	// Hold the mesh open until the coordinator — who has every worker's
+	// shutdown ack — tears it down: a worker closing early would EOF peers
+	// that are still draining their own shutdown message.
+	select {
+	case <-t.Done():
+	case <-time.After(30 * time.Second):
+	case <-ctx.Done():
+	}
+	fmt.Printf("dapple-worker: rank %d shut down cleanly\n", *rank)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessLoopbackSmoke is the distributed-runtime end-to-end gate:
+// it builds the real dapple and dapple-worker binaries, starts two worker
+// processes and a coordinator process on 127.0.0.1, trains 3 iterations of a
+// replicated plan across them, and requires the coordinator to report every
+// iteration's loss within 1e-6 of the sequential reference (the binary
+// exits non-zero past that drift). Three OS processes, real sockets — the
+// same topology as the README walkthrough.
+func TestMultiProcessLoopbackSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dapple")
+	wbin := filepath.Join(dir, "dapple-worker")
+	for path, pkg := range map[string]string{bin: "dapple/cmd/dapple", wbin: "dapple/cmd/dapple-worker"} {
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	addr0 := startWorker(t, wbin, 0)
+	addr1 := startWorker(t, wbin, 1, "-peers", addr0)
+
+	coord := exec.Command(bin,
+		"-execute", "-config", "B", "-servers", "4", "-gbs", "64",
+		"-exec-iters", "3", "-exec-workers", addr0+","+addr1)
+	out, err := coord.CombinedOutput()
+	if err != nil {
+		t.Fatalf("coordinator failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for it := 1; it <= 3; it++ {
+		if !strings.Contains(text, fmt.Sprintf("iter  %d", it)) {
+			t.Errorf("coordinator output missing iteration %d:\n%s", it, text)
+		}
+	}
+	if !strings.Contains(text, "distributed losses match sequential within 1e-6") {
+		t.Errorf("coordinator did not report loss equivalence:\n%s", text)
+	}
+}
+
+// startWorker launches one dapple-worker process and returns the address it
+// reports listening on. The process is killed (and its exit checked) at test
+// cleanup.
+func startWorker(t *testing.T, bin string, rank int, extra ...string) string {
+	t.Helper()
+	args := append([]string{"-rank", fmt.Sprint(rank), "-listen", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, addr, ok := strings.Cut(line, "listening on "); ok {
+				addrCh <- strings.TrimSpace(addr)
+			}
+		}
+		done <- cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker %d exited: %v", rank, err)
+			}
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Errorf("worker %d never exited; killed", rank)
+		}
+	})
+	select {
+	case addr := <-addrCh:
+		return addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("worker %d never reported its address", rank)
+		return ""
+	}
+}

@@ -1,0 +1,55 @@
+package dapple
+
+import (
+	"context"
+
+	"dapple/internal/train"
+	"dapple/internal/transport"
+)
+
+// Re-exported distributed-runtime types: the multi-process form of the
+// executor, where a coordinator shards a Plan's stage replicas across worker
+// processes connected by a TCP mesh and gradient all-reduce turns
+// hierarchical (intra-server reduce, cross-server exchange, intra-server
+// broadcast) whenever a replica group spans servers.
+type (
+	// TCPTransport is one mesh endpoint: framed tensor edges plus collective
+	// groups over length-prefixed TCP connections to every peer rank.
+	TCPTransport = transport.TCP
+	// DistConfig places an Executor inside a distributed session: its mesh
+	// transport, its rank, and the device→rank map shared by all ranks.
+	DistConfig = train.DistConfig
+	// Coordinator drives a distributed session: manifest, weight broadcast,
+	// gated training steps, fail-stop abort, shutdown barrier.
+	Coordinator = train.Coordinator
+	// DistWorker serves one rank of a distributed session, hosting the stage
+	// replicas the coordinator's placement maps to it.
+	DistWorker = train.Worker
+	// OptSpec names an optimizer portably so the coordinator's manifest can
+	// tell every worker how to build identical optimizer state.
+	OptSpec = train.OptSpec
+)
+
+// ListenTCP returns a worker-side mesh endpoint accepting connections on
+// addr (use port 0 for an ephemeral port; Addr reports the resolved one).
+// Call SetRank, Dial lower-ranked peers, then WaitPeers before serving.
+func ListenTCP(addr string) (*TCPTransport, error) { return transport.ListenTCP(addr) }
+
+// NewTCPTransport returns a dial-only mesh endpoint — the coordinator's
+// side, which dials every worker and never accepts connections.
+func NewTCPTransport() *TCPTransport { return transport.NewTCP() }
+
+// NewCoordinator opens a distributed training session over an already
+// connected mesh: it broadcasts the plan manifest and master weights to all
+// workers, waits for every rank to build its executor, and returns a
+// Coordinator whose Step drives lock-step training iterations. deviceRanks
+// maps each of the plan's devices to the worker rank hosting it; workers is
+// the mesh size excluding the coordinator (which must be rank workers).
+func NewCoordinator(ctx context.Context, t *TCPTransport, p *Plan, master *Network, opt OptSpec, eo ExecOptions, deviceRanks []int, workers int) (*Coordinator, error) {
+	return train.NewCoordinator(ctx, t, p, master, opt, eo, deviceRanks, workers)
+}
+
+// NewDistWorker wraps a connected mesh endpoint as one session worker; call
+// Serve to run the protocol until shutdown or session failure (fail-stop:
+// any error anywhere ends the session on every rank).
+func NewDistWorker(t *TCPTransport, rank int) *DistWorker { return train.NewWorker(t, rank) }

@@ -38,6 +38,7 @@ var lintedPackages = []string{
 	"internal/trace",
 	"internal/train",
 	"internal/nn",
+	"internal/transport",
 }
 
 // TestExportedSymbolsDocumented parses every linted package and reports each

@@ -1,5 +1,6 @@
 // Package train is the real concurrent training runtime: goroutines are
-// devices, channels are interconnects. It executes the same schedules the
+// devices, channels are interconnects, and with the TCP transport backend
+// worker processes are servers. It executes the same schedules the
 // simulator models — sequential accumulation, data parallelism with a real
 // ring all-reduce, and GPipe/DAPPLE pipelines with split/concat stage
 // replication — on genuine gradient math (packages tensor, nn), which is how
@@ -7,7 +8,12 @@
 // gradients equivalent to sequential execution.
 package train
 
-import "sync"
+import (
+	"sync"
+
+	"dapple/internal/hardware"
+	"dapple/internal/transport"
+)
 
 // RingAllReduce sums the participants' equal-length vectors in place using
 // the standard ring algorithm: n-1 reduce-scatter steps followed by n-1
@@ -28,96 +34,188 @@ func RingAllReduce(bufs [][]float64) {
 	if size == 0 {
 		return
 	}
-	newRingState(n, size).allReduce(bufs)
+	transport.NewRing(n, size).AllReduce(bufs)
 }
 
-// ringState is the reusable scratch of one ring all-reduce group: the ring
-// channels plus per-rank chunk transfer buffers, sized once so a steady-state
-// training iteration synchronizes gradients without allocating.
+// serverGroups maps a replica group's devices onto the cluster topology:
+// the replica indices grouped by hosting server, in replica order. It
+// returns nil unless the group both spans servers and co-locates at least
+// two replicas on some server — the exact condition under which the paper's
+// hierarchical all-reduce (§III) beats a flat ring, and the degenerate
+// cases (single server, or one replica per server) where the hierarchy
+// collapses to the flat algorithm anyway.
+func serverGroups(c hardware.Cluster, devs []hardware.DeviceID) [][]int {
+	if c.GPUsPerServer <= 0 {
+		return nil
+	}
+	var groups [][]int
+	bySrv := make(map[int]int)
+	maxLen := 0
+	for r, d := range devs {
+		srv := c.Server(d)
+		gi, ok := bySrv[srv]
+		if !ok {
+			gi = len(groups)
+			bySrv[srv] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], r)
+		if len(groups[gi]) > maxLen {
+			maxLen = len(groups[gi])
+		}
+	}
+	if len(groups) < 2 || maxLen < 2 {
+		return nil
+	}
+	return groups
+}
+
+// arGroup synchronizes one stage's replica gradients at iteration end.
+// Every locally hosted replica worker reports to the group exactly once per
+// step — arrive with its flattened gradients on success, abandon on any
+// failure — and the last local report decides the stage's fate atomically:
+// if all arrived, the last one runs the collective and commits; if any
+// replica abandoned, nobody local commits. Because the decision is taken
+// once, with complete information, an aborted step can never apply a weight
+// update on some local replicas but not others. (Across worker processes
+// the commit is fail-stop instead: a step aborted mid-exchange ends the
+// session, so torn cross-process commits are never trained on.) Waiters
+// block on done alone (no abort select): every peer's error path leads to
+// abandon, so done always closes. The group is reset — not reallocated —
+// every step.
 //
-// Each rank rotates through three send buffers. Three is the minimum safe
-// depth for the cap-1 ring channels: by the Go memory model, the receive of
-// message k happens-before the completion of send k+1, so by the time a rank
-// copies message j+3 into the slot message j used, its neighbor has received
-// message j+1 — which, in the neighbor's program order, is after it finished
-// reading message j. Two slots would leave the copy racing the neighbor's
-// reads.
-type ringState struct {
-	n, size int
-	ch      []chan []float64 // ch[i] carries chunks from rank i to (i+1) mod n
-	out     [][]float64      // 3 rotating send-scratch chunks per rank
+// The collective is chosen from the plan's topology: a flat in-process ring
+// when the replicas sit on one server (or one per server, where the
+// hierarchy degenerates); the paper §III hierarchical algorithm —
+// intra-server reduce, cross-server exchange, intra-server broadcast — when
+// the group spans servers with co-located replicas; and for stages spanning
+// worker processes, a local member-order reduction followed by a
+// cross-process exchange (transport.Group) and local broadcast, which is
+// the same hierarchy with the process boundary as the server boundary.
+type arGroup struct {
+	mu      sync.Mutex
+	bufs    [][]float64
+	arrived int
+	failed  bool
+	commit  bool
+	done    chan struct{}
+
+	ring *transport.Ring
+	hier *transport.Hier
+	dist transport.Group
+	acc  []float64 // dist: local member-order reduction scratch
+	algo string
 }
 
-// newRingState builds scratch for n participants with size-element vectors.
-func newRingState(n, size int) *ringState {
-	rs := &ringState{
-		n: n, size: size,
-		ch:  make([]chan []float64, n),
-		out: make([][]float64, 3*n),
+// newARGroup returns a reusable barrier for n locally hosted replicas of
+// size-element gradient vectors. devs are the local replicas' devices (used
+// with the cluster topology to pick the collective); dist is the
+// cross-process exchange group for stages spanning workers, nil otherwise.
+func newARGroup(n, size int, c hardware.Cluster, devs []hardware.DeviceID, dist transport.Group) *arGroup {
+	g := &arGroup{bufs: make([][]float64, n), done: make(chan struct{}), algo: "none"}
+	if size == 0 {
+		// Parameter-free stage: nothing to sum, locally or remotely.
+		return g
 	}
-	maxChunk := (size + n - 1) / n
-	for i := range rs.ch {
-		rs.ch[i] = make(chan []float64, 1)
+	if dist != nil {
+		g.dist = dist
+		g.acc = make([]float64, size)
+		g.algo = "hierarchical"
+		return g
 	}
-	for i := range rs.out {
-		rs.out[i] = make([]float64, maxChunk)
+	if n > 1 {
+		if groups := serverGroups(c, devs); groups != nil {
+			g.hier = transport.NewHier(groups, size)
+			g.algo = "hierarchical"
+		} else {
+			g.ring = transport.NewRing(n, size)
+			g.algo = "ring"
+		}
 	}
-	return rs
+	return g
 }
 
-// chunk returns the [lo, hi) bounds of chunk c.
-func (rs *ringState) chunk(c int) (int, int) {
-	base, extra := rs.size/rs.n, rs.size%rs.n
-	lo := c*base + min(c, extra)
-	sz := base
-	if c < extra {
-		sz++
+// algorithm names the collective the group selected ("none", "ring" or
+// "hierarchical").
+func (g *arGroup) algorithm() string { return g.algo }
+
+// reset re-arms the barrier for the next step.
+func (g *arGroup) reset() {
+	g.arrived = 0
+	g.failed = false
+	g.commit = false
+	g.done = make(chan struct{})
+	for i := range g.bufs {
+		g.bufs[i] = nil
 	}
-	return lo, lo + sz
 }
 
-// allReduce runs the ring over bufs (len n, each size elements) reusing the
-// state's channels and chunk scratch. The channels are drained on return, so
-// consecutive calls may share one state; concurrent calls may not.
-func (rs *ringState) allReduce(bufs [][]float64) {
-	n := rs.n
-	var wg sync.WaitGroup
-	for rank := 0; rank < n; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			buf := bufs[rank]
-			send := rs.ch[rank]
-			recv := rs.ch[(rank-1+n)%n]
+// abandon is a failed replica's report: it counts as the replica's arrival
+// and vetoes the stage's commit, releasing any waiting peers.
+func (g *arGroup) abandon() {
+	g.mu.Lock()
+	g.arrived++
+	g.failed = true
+	last := g.arrived == len(g.bufs)
+	done := g.done
+	g.mu.Unlock()
+	if last {
+		close(done)
+	}
+}
 
-			// Reduce-scatter: after step s, rank owns the full sum of chunk
-			// (rank+1) mod n at the end.
-			for s := 0; s < n-1; s++ {
-				c := (rank - s + n) % n
-				lo, hi := rs.chunk(c)
-				out := rs.out[3*rank+s%3][:hi-lo]
-				copy(out, buf[lo:hi])
-				send <- out
-				in := <-recv
-				c2 := (rank - s - 1 + n) % n
-				lo2, _ := rs.chunk(c2)
-				for i, v := range in {
-					buf[lo2+i] += v
-				}
+// arrive contributes local replica r's buf and blocks until every local
+// replica has reported, returning whether the stage committed. On commit,
+// every replica's buf holds the bit-identical all-reduced sum (across
+// worker processes too, when the stage spans them).
+func (g *arGroup) arrive(r int, buf []float64, abort <-chan struct{}) bool {
+	n := len(g.bufs)
+	if n == 1 && g.dist == nil {
+		return true
+	}
+	g.mu.Lock()
+	g.bufs[r] = buf
+	g.arrived++
+	last := g.arrived == n
+	failed := g.failed
+	done := g.done
+	g.mu.Unlock()
+	if last {
+		if !failed && g.reduce(abort) {
+			g.commit = true // written before close(done), read after it
+		}
+		close(done)
+	} else {
+		<-done
+	}
+	return g.commit
+}
+
+// reduce runs the selected collective over the arrived buffers, reporting
+// whether it completed.
+func (g *arGroup) reduce(abort <-chan struct{}) bool {
+	switch {
+	case g.dist != nil:
+		// Local reduce in member order, cross-process exchange, local
+		// broadcast — hierarchical with the process boundary as the server
+		// boundary. The exchange sums worker contributions in rank order on
+		// every rank, so the broadcast total is bit-identical everywhere.
+		copy(g.acc, g.bufs[0])
+		for _, b := range g.bufs[1:] {
+			for k, v := range b {
+				g.acc[k] += v
 			}
-			// All-gather: circulate the completed chunks.
-			for s := 0; s < n-1; s++ {
-				c := (rank + 1 - s + n) % n
-				lo, hi := rs.chunk(c)
-				out := rs.out[3*rank+(n-1+s)%3][:hi-lo]
-				copy(out, buf[lo:hi])
-				send <- out
-				in := <-recv
-				c2 := (rank - s + n) % n
-				lo2, _ := rs.chunk(c2)
-				copy(buf[lo2:lo2+len(in)], in)
-			}
-		}(rank)
+		}
+		if err := g.dist.AllReduce(g.acc, abort); err != nil {
+			return false
+		}
+		for _, b := range g.bufs {
+			copy(b, g.acc)
+		}
+	case g.hier != nil:
+		g.hier.AllReduce(g.bufs)
+	case g.ring != nil:
+		g.ring.AllReduce(g.bufs)
 	}
-	wg.Wait()
+	return true
 }

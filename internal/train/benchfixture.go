@@ -16,11 +16,28 @@ import (
 // keeps all three measuring the same workload, so multi-core re-baselines
 // of BENCH_train.json stay comparable with the CI numbers.
 func BenchmarkFixture(pol schedule.Policy, seed int64) (*Executor, []Batch, error) {
+	p, master, micros, err := BenchmarkWorkload(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex, err := NewExecutor(p, master, func() nn.Optimizer { return nn.SGD{LR: 0.01} },
+		ExecOptions{Policy: pol})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, micros, nil
+}
+
+// BenchmarkWorkload returns the canonical benchmark plan, master network and
+// micro-batches without building an executor, for harnesses that construct
+// their own runtime around the same workload — the distributed-session
+// transport benchmark in particular.
+func BenchmarkWorkload(seed int64) (*core.Plan, *nn.Network, []Batch, error) {
 	master := nn.MLP([]int{32, 48, 48, 48, 48, 48, 8}, 42) // 11 layers
 	const rows, m, inDim = 16, 8, 32
 	mod, err := ProfileNetwork("bench-net", master, inDim, rows, rows*m)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	c := hardware.ConfigB(8)
 	stages := make([]core.Stage, 4)
@@ -36,14 +53,9 @@ func BenchmarkFixture(pol schedule.Policy, seed int64) (*Executor, []Batch, erro
 	}
 	p := &core.Plan{Model: mod, Cluster: c, Stages: stages, GBS: rows * m, MicroBatch: rows}
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
-	ex, err := NewExecutor(p, master, func() nn.Optimizer { return nn.SGD{LR: 0.01} },
-		ExecOptions{Policy: pol})
-	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	proj := NewQuadrantProblem(rng, inDim)
-	return ex, QuadrantBatches(rng, proj, m, rows), nil
+	return p, master, QuadrantBatches(rng, proj, m, rows), nil
 }

@@ -1,0 +1,563 @@
+package train
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/model"
+	"dapple/internal/nn"
+	"dapple/internal/schedule"
+	"dapple/internal/tensor"
+	"dapple/internal/transport"
+)
+
+// The distributed session protocol: a coordinator process (mesh rank W for W
+// workers) drives worker processes (ranks 0..W-1) through a fail-stop
+// lockstep. Control messages are JSON envelopes on the transport's control
+// plane; bulk data (initial weights, per-step micro-batches) travels as
+// out-of-band tensor frames on the same connections, so per-peer FIFO order
+// makes every wait deterministic. The handshake is manifest → weight
+// broadcast → weights-done → ready; each step is step → micro-batch tensors
+// → step-done, and the coordinator gates step k+1 on every worker's step-k
+// report. Any failure anywhere — a worker error, a torn connection, a
+// coordinator abort — ends the session: there is no rejoin, which is what
+// keeps torn cross-process weight updates impossible.
+const (
+	ctrlManifest    = "manifest"
+	ctrlWeightsDone = "weights-done"
+	ctrlReady       = "ready"
+	ctrlStep        = "step"
+	ctrlStepDone    = "step-done"
+	ctrlAbort       = "abort"
+	ctrlShutdown    = "shutdown"
+	ctrlShutdownAck = "shutdown-ack"
+)
+
+// Tensor classes multiplexed on the session mesh's out-of-band tensor plane.
+const (
+	tensWeight = 1 // initial weight broadcast, Index = position in Params()
+	tensX      = 2 // one micro-batch's input rows, Index = micro-batch id
+	tensY      = 3 // one micro-batch's labels as a rows×1 matrix
+)
+
+// LayerSpec describes one nn layer structurally, enough for a worker to
+// rebuild the master network's skeleton before the weight broadcast fills it.
+type LayerSpec struct {
+	// Kind is "dense", "relu" or "tanh".
+	Kind string `json:"kind"`
+	// In and Out are the dense layer's dimensions (zero for activations).
+	In  int `json:"in,omitempty"`
+	Out int `json:"out,omitempty"`
+}
+
+// OptSpec names the optimizer every replica instantiates, so all processes
+// apply identical update rules to identical gradients.
+type OptSpec struct {
+	// Kind is "sgd", "momentum" or "adam".
+	Kind string `json:"kind"`
+	// LR is the learning rate.
+	LR float64 `json:"lr"`
+	// Beta is the momentum coefficient (momentum only).
+	Beta float64 `json:"beta,omitempty"`
+}
+
+// Factory returns the optimizer constructor the spec names.
+func (o OptSpec) Factory() (func() nn.Optimizer, error) {
+	switch o.Kind {
+	case "sgd":
+		return func() nn.Optimizer { return nn.SGD{LR: o.LR} }, nil
+	case "momentum":
+		return func() nn.Optimizer { return nn.NewMomentum(o.LR, o.Beta) }, nil
+	case "adam":
+		return func() nn.Optimizer { return nn.NewAdam(o.LR) }, nil
+	default:
+		return nil, fmt.Errorf("train: unknown optimizer %q", o.Kind)
+	}
+}
+
+// stageSpec is one plan stage in wire form.
+type stageSpec struct {
+	Lo      int   `json:"lo"`
+	Hi      int   `json:"hi"`
+	Devices []int `json:"devices"`
+}
+
+// Manifest is the session description the coordinator hands every worker:
+// everything needed to reconstruct the plan and the network skeleton and to
+// place itself in the mesh. Weights are NOT in the manifest — they follow as
+// tensor frames so the JSON stays small.
+type Manifest struct {
+	// Model and Cluster rebind the plan on the worker side.
+	Model   model.Model      `json:"model"`
+	Cluster hardware.Cluster `json:"cluster"`
+	// Stages, GBS and MicroBatch complete the plan.
+	Stages     []stageSpec `json:"stages"`
+	GBS        int         `json:"gbs"`
+	MicroBatch int         `json:"microBatch"`
+	// Policy and Recompute mirror ExecOptions.
+	Policy    int  `json:"policy"`
+	Recompute bool `json:"recompute"`
+	// Net is the network skeleton; Opt the shared optimizer.
+	Net []LayerSpec `json:"net"`
+	Opt OptSpec     `json:"opt"`
+	// DeviceRanks maps every cluster device to its hosting worker rank.
+	DeviceRanks []int `json:"deviceRanks"`
+	// Workers is the worker count; the coordinator is mesh rank Workers.
+	Workers int `json:"workers"`
+}
+
+// envelope is the one wire shape of every control message; Kind selects
+// which fields matter.
+type envelope struct {
+	Kind     string    `json:"kind"`
+	Step     int       `json:"step,omitempty"`
+	M        int       `json:"m,omitempty"`
+	Loss     float64   `json:"loss,omitempty"`
+	Err      string    `json:"err,omitempty"`
+	Manifest *Manifest `json:"manifest,omitempty"`
+}
+
+// NetSpec extracts the structural skeleton of a network for the manifest.
+func NetSpec(n *nn.Network) ([]LayerSpec, error) {
+	spec := make([]LayerSpec, 0, n.NumLayers())
+	for _, l := range n.Layers {
+		switch d := l.(type) {
+		case *nn.Dense:
+			spec = append(spec, LayerSpec{Kind: "dense", In: d.W.Rows, Out: d.W.Cols})
+		case nn.ReLU:
+			spec = append(spec, LayerSpec{Kind: "relu"})
+		case nn.Tanh:
+			spec = append(spec, LayerSpec{Kind: "tanh"})
+		default:
+			return nil, fmt.Errorf("train: layer %T has no wire spec", l)
+		}
+	}
+	return spec, nil
+}
+
+// BuildNet constructs the skeleton a spec describes. Dense weights are
+// placeholders until the coordinator's broadcast overwrites them.
+func BuildNet(spec []LayerSpec) (*nn.Network, error) {
+	rng := rand.New(rand.NewSource(0))
+	net := &nn.Network{}
+	for _, ls := range spec {
+		switch ls.Kind {
+		case "dense":
+			if ls.In <= 0 || ls.Out <= 0 {
+				return nil, fmt.Errorf("train: dense layer with shape %dx%d", ls.In, ls.Out)
+			}
+			net.Layers = append(net.Layers, nn.NewDense(ls.In, ls.Out, rng))
+		case "relu":
+			net.Layers = append(net.Layers, nn.ReLU{})
+		case "tanh":
+			net.Layers = append(net.Layers, nn.Tanh{})
+		default:
+			return nil, fmt.Errorf("train: unknown layer kind %q", ls.Kind)
+		}
+	}
+	return net, nil
+}
+
+// sendEnvelope JSON-encodes and ships one control message.
+func sendEnvelope(t *transport.TCP, peer int, env envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	return t.SendControl(peer, raw)
+}
+
+// recvEnvelope blocks for the next control message, decoding it; it fails
+// when the transport dies or ctx ends, so protocol waits are never stranded.
+func recvEnvelope(ctx context.Context, t *transport.TCP) (int, envelope, error) {
+	select {
+	case cm := <-t.Ctrl():
+		var env envelope
+		if err := json.Unmarshal(cm.Data, &env); err != nil {
+			return cm.Peer, envelope{}, fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
+		}
+		return cm.Peer, env, nil
+	case <-t.Done():
+		// Drain messages demuxed before the transport died: a shutdown
+		// that raced a peer's teardown must still be seen as a shutdown.
+		select {
+		case cm := <-t.Ctrl():
+			var env envelope
+			if err := json.Unmarshal(cm.Data, &env); err == nil {
+				return cm.Peer, env, nil
+			}
+		default:
+		}
+		return -1, envelope{}, t.Err()
+	case <-ctx.Done():
+		return -1, envelope{}, ctx.Err()
+	}
+}
+
+// recvTensor blocks for the next out-of-band tensor frame.
+func recvTensor(ctx context.Context, t *transport.TCP) (transport.TensorMsg, error) {
+	select {
+	case tm := <-t.Tensors():
+		return tm, nil
+	case <-t.Done():
+		return transport.TensorMsg{}, t.Err()
+	case <-ctx.Done():
+		return transport.TensorMsg{}, ctx.Err()
+	}
+}
+
+// Coordinator drives a multi-process training session from the non-worker
+// side: it owns no devices, ships the manifest, the initial weights and each
+// step's micro-batches to every worker, and gates each step on all workers'
+// reports. The session is fail-stop: the first error anywhere ends it.
+type Coordinator struct {
+	t       *transport.TCP
+	workers int
+	step    int
+	failed  error
+}
+
+// NewCoordinator performs the session handshake over an already-connected
+// mesh (t must be dialed to worker ranks 0..workers-1 with rank workers):
+// manifest to every worker, master weight broadcast in Params() order,
+// weights-done, then a ready barrier. On return every worker holds an
+// executor with identical weights and the session is ready to Step.
+func NewCoordinator(ctx context.Context, t *transport.TCP, p *core.Plan, master *nn.Network, opt OptSpec, eo ExecOptions, deviceRanks []int, workers int) (*Coordinator, error) {
+	net, err := NetSpec(master)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := opt.Factory(); err != nil {
+		return nil, err
+	}
+	if n := p.Cluster.NumDevices(); len(deviceRanks) < n {
+		return nil, fmt.Errorf("train: device-rank map covers %d of %d devices", len(deviceRanks), n)
+	}
+	man := &Manifest{
+		Model: *p.Model, Cluster: p.Cluster,
+		GBS: p.GBS, MicroBatch: p.MicroBatch,
+		Policy: int(eo.Policy), Recompute: eo.Recompute,
+		Net: net, Opt: opt, DeviceRanks: deviceRanks, Workers: workers,
+	}
+	for _, s := range p.Stages {
+		ss := stageSpec{Lo: s.Lo, Hi: s.Hi}
+		for _, d := range s.Devices {
+			ss.Devices = append(ss.Devices, int(d))
+		}
+		man.Stages = append(man.Stages, ss)
+	}
+	c := &Coordinator{t: t, workers: workers}
+	params := master.Params()
+	for w := 0; w < workers; w++ {
+		if err := sendEnvelope(t, w, envelope{Kind: ctrlManifest, Manifest: man}); err != nil {
+			return nil, err
+		}
+		for i, pr := range params {
+			if err := t.SendTensor(w, tensWeight, i, pr.W); err != nil {
+				return nil, err
+			}
+		}
+		if err := sendEnvelope(t, w, envelope{Kind: ctrlWeightsDone}); err != nil {
+			return nil, err
+		}
+	}
+	for seen := 0; seen < workers; seen++ {
+		peer, env, err := recvEnvelope(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		if env.Kind != ctrlReady {
+			return nil, fmt.Errorf("train: rank %d sent %q during handshake: %s", peer, env.Kind, env.Err)
+		}
+	}
+	return c, nil
+}
+
+// Step runs one distributed training iteration: micro-batches to every
+// worker, then a barrier on all step reports. The returned loss is the sum
+// of the workers' last-stage partial losses — the same micro-batch-averaged
+// cross-entropy a single-process ExecResult reports. After any error the
+// session is dead and every later Step fails immediately.
+func (c *Coordinator) Step(ctx context.Context, micros []Batch) (float64, error) {
+	if c.failed != nil {
+		return 0, c.failed
+	}
+	step := c.step
+	c.step++
+	for w := 0; w < c.workers; w++ {
+		if err := c.send(w, step, micros); err != nil {
+			return 0, c.fail(err)
+		}
+	}
+	var loss float64
+	for seen := 0; seen < c.workers; seen++ {
+		peer, env, err := recvEnvelope(ctx, c.t)
+		if err != nil {
+			return 0, c.fail(err)
+		}
+		switch env.Kind {
+		case ctrlStepDone:
+			if env.Step != step {
+				return 0, c.fail(fmt.Errorf("train: rank %d reported step %d during step %d", peer, env.Step, step))
+			}
+			loss += env.Loss
+		case ctrlAbort:
+			return 0, c.fail(fmt.Errorf("train: rank %d aborted step %d: %s", peer, step, env.Err))
+		default:
+			return 0, c.fail(fmt.Errorf("train: rank %d sent %q during step %d", peer, env.Kind, step))
+		}
+	}
+	return loss, nil
+}
+
+// send ships one step announcement and its micro-batches to worker w. Labels
+// travel as a rows×1 float64 matrix beside each input block.
+func (c *Coordinator) send(w, step int, micros []Batch) error {
+	if err := sendEnvelope(c.t, w, envelope{Kind: ctrlStep, Step: step, M: len(micros)}); err != nil {
+		return err
+	}
+	for mb, b := range micros {
+		if err := c.t.SendTensor(w, tensX, mb, b.X); err != nil {
+			return err
+		}
+		y := tensor.New(len(b.Y), 1)
+		for i, v := range b.Y {
+			y.Data[i] = float64(v)
+		}
+		if err := c.t.SendTensor(w, tensY, mb, y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fail latches the session's first error, tells every worker to abort, and
+// tears the mesh down.
+func (c *Coordinator) fail(err error) error {
+	if c.failed == nil {
+		c.failed = err
+		for w := 0; w < c.workers; w++ {
+			sendEnvelope(c.t, w, envelope{Kind: ctrlAbort, Err: err.Error()}) //nolint:errcheck // best-effort on a dying session
+		}
+		c.t.Close()
+	}
+	return c.failed
+}
+
+// Close ends a healthy session: shutdown to every worker, a barrier on
+// their acks (so no worker is still mid-read when the connections drop),
+// then the mesh.
+func (c *Coordinator) Close() error {
+	if c.failed != nil {
+		return nil
+	}
+	for w := 0; w < c.workers; w++ {
+		if err := sendEnvelope(c.t, w, envelope{Kind: ctrlShutdown}); err != nil {
+			return c.t.Close()
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for seen := 0; seen < c.workers; seen++ {
+		if _, env, err := recvEnvelope(ctx, c.t); err != nil || env.Kind != ctrlShutdownAck {
+			break
+		}
+	}
+	return c.t.Close()
+}
+
+// Worker is one rank of a multi-process session: it receives the manifest
+// and weights, hosts its share of stage replicas in an Executor, and runs
+// coordinator-gated steps until shutdown.
+type Worker struct {
+	t    *transport.TCP
+	rank int
+
+	exec *Executor
+	man  *Manifest
+}
+
+// NewWorker wraps an already-connected mesh (rank set, peers dialed) as a
+// session worker.
+func NewWorker(t *transport.TCP, rank int) *Worker {
+	return &Worker{t: t, rank: rank}
+}
+
+// Executor returns the worker's executor, nil before the handshake.
+func (w *Worker) Executor() *Executor { return w.exec }
+
+// Serve runs the worker side of the session protocol until shutdown (nil),
+// session failure, or ctx cancellation. It must be called once, after the
+// mesh is fully connected.
+func (w *Worker) Serve(ctx context.Context) error {
+	if err := w.handshake(ctx); err != nil {
+		return err
+	}
+	coord := w.man.Workers
+	for {
+		peer, env, err := recvEnvelope(ctx, w.t)
+		if err != nil {
+			return err
+		}
+		if peer != coord {
+			return fmt.Errorf("train: control frame from non-coordinator rank %d", peer)
+		}
+		switch env.Kind {
+		case ctrlStep:
+			if err := w.runStep(ctx, env); err != nil {
+				return err
+			}
+		case ctrlShutdown:
+			// Ack before returning: the coordinator holds its connections
+			// open until every worker confirms it is out of the protocol.
+			sendEnvelope(w.t, coord, envelope{Kind: ctrlShutdownAck}) //nolint:errcheck // session is over either way
+			return nil
+		case ctrlAbort:
+			return fmt.Errorf("train: session aborted by coordinator: %s", env.Err)
+		default:
+			return fmt.Errorf("train: unexpected %q from coordinator", env.Kind)
+		}
+	}
+}
+
+// handshake consumes the manifest, rebuilds the plan and network, fills the
+// weights from the broadcast, constructs the executor and reports ready.
+func (w *Worker) handshake(ctx context.Context) error {
+	_, env, err := recvEnvelope(ctx, w.t)
+	if err != nil {
+		return err
+	}
+	if env.Kind != ctrlManifest || env.Manifest == nil {
+		return fmt.Errorf("train: worker expected manifest, got %q", env.Kind)
+	}
+	man := env.Manifest
+	w.man = man
+	// The manifest reveals the full mesh (workers 0..W-1 plus the
+	// coordinator at W); wait for every connection before building the
+	// executor so edge and group sends never race the dial-in of a
+	// slower-starting peer.
+	peers := make([]int, 0, man.Workers)
+	for r := 0; r <= man.Workers; r++ {
+		if r != w.rank {
+			peers = append(peers, r)
+		}
+	}
+	if err := w.t.WaitPeers(ctx, peers); err != nil {
+		return err
+	}
+	mdl := man.Model
+	p := &core.Plan{Model: &mdl, Cluster: man.Cluster, GBS: man.GBS, MicroBatch: man.MicroBatch}
+	for _, ss := range man.Stages {
+		s := core.Stage{Lo: ss.Lo, Hi: ss.Hi}
+		for _, d := range ss.Devices {
+			s.Devices = append(s.Devices, hardware.DeviceID(d))
+		}
+		p.Stages = append(p.Stages, s)
+	}
+	net, err := BuildNet(man.Net)
+	if err != nil {
+		return err
+	}
+	params := net.Params()
+	for i := range params {
+		tm, err := recvTensor(ctx, w.t)
+		if err != nil {
+			return err
+		}
+		if tm.Class != tensWeight || tm.Index != i {
+			return fmt.Errorf("train: weight broadcast out of order (class %d index %d, want %d)", tm.Class, tm.Index, i)
+		}
+		if tm.Data.Rows != params[i].W.Rows || tm.Data.Cols != params[i].W.Cols {
+			return fmt.Errorf("train: weight %d is %dx%d, skeleton wants %dx%d",
+				i, tm.Data.Rows, tm.Data.Cols, params[i].W.Rows, params[i].W.Cols)
+		}
+		copy(params[i].W.Data, tm.Data.Data)
+	}
+	if _, env, err = recvEnvelope(ctx, w.t); err != nil {
+		return err
+	}
+	if env.Kind != ctrlWeightsDone {
+		return fmt.Errorf("train: worker expected weights-done, got %q", env.Kind)
+	}
+	factory, err := man.Opt.Factory()
+	if err != nil {
+		return err
+	}
+	w.exec, err = NewExecutor(p, net, factory, ExecOptions{
+		Policy: schedule.Policy(man.Policy), Recompute: man.Recompute, NoTrace: true,
+		Dist: &DistConfig{Transport: w.t, Rank: w.rank, DeviceRanks: man.DeviceRanks},
+	})
+	if err != nil {
+		sendEnvelope(w.t, man.Workers, envelope{Kind: ctrlAbort, Err: err.Error()}) //nolint:errcheck // best-effort before failing
+		return err
+	}
+	return sendEnvelope(w.t, man.Workers, envelope{Kind: ctrlReady})
+}
+
+// runStep receives one step's micro-batches and executes the local share of
+// the plan, watching the control plane throughout so a peer's abort (relayed
+// by the coordinator) cancels a step blocked on cross-process transfers.
+func (w *Worker) runStep(ctx context.Context, env envelope) error {
+	coord := w.man.Workers
+	micros := make([]Batch, env.M)
+	for mb := 0; mb < env.M; mb++ {
+		x, err := recvTensor(ctx, w.t)
+		if err != nil {
+			return err
+		}
+		y, err := recvTensor(ctx, w.t)
+		if err != nil {
+			return err
+		}
+		if x.Class != tensX || y.Class != tensY || x.Index != mb || y.Index != mb {
+			return fmt.Errorf("train: step %d micro %d arrived out of order", env.Step, mb)
+		}
+		labels := make([]int, y.Data.Rows)
+		for i := range labels {
+			labels[i] = int(y.Data.Data[i])
+		}
+		micros[mb] = Batch{X: x.Data, Y: labels}
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res *ExecResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := w.exec.StepContext(sctx, micros)
+		done <- outcome{res, err}
+	}()
+	var aborted error
+	select {
+	case out := <-done:
+		if out.err != nil {
+			sendEnvelope(w.t, coord, envelope{Kind: ctrlAbort, Step: env.Step, Err: out.err.Error()}) //nolint:errcheck // best-effort on a dying session
+			return out.err
+		}
+		return sendEnvelope(w.t, coord, envelope{Kind: ctrlStepDone, Step: env.Step, Loss: out.res.Loss})
+	case cm := <-w.t.Ctrl():
+		// A peer failed mid-step and the coordinator relayed the abort (or
+		// sent something unexpected — equally fatal). Cancel the local step
+		// so its workers unblock from cross-process receives.
+		var e envelope
+		if err := json.Unmarshal(cm.Data, &e); err == nil && e.Kind == ctrlAbort {
+			aborted = fmt.Errorf("train: session aborted by coordinator: %s", e.Err)
+		} else {
+			aborted = fmt.Errorf("train: unexpected control frame from rank %d mid-step", cm.Peer)
+		}
+	case <-w.t.Done():
+		aborted = w.t.Err()
+	case <-ctx.Done():
+		aborted = ctx.Err()
+	}
+	cancel()
+	<-done // the executor must be fully quiescent before Serve returns
+	return aborted
+}

@@ -8,16 +8,41 @@ import (
 	"time"
 
 	"dapple/internal/core"
+	"dapple/internal/hardware"
 	"dapple/internal/nn"
 	"dapple/internal/schedule"
 	"dapple/internal/sim"
 	"dapple/internal/tensor"
 	"dapple/internal/trace"
+	"dapple/internal/transport"
 )
 
 // errAborted is returned by workers unblocked by the step's abort channel;
-// StepContext replaces it with the first real failure (or ctx.Err()).
-var errAborted = errors.New("train: step aborted")
+// StepContext replaces it with the first real failure (or ctx.Err()). It is
+// the transport abort sentinel, so edge receives unblocked by the same
+// channel need no translation.
+var errAborted = transport.ErrAborted
+
+// DistConfig places one executor inside a multi-process training session:
+// the TCP mesh connecting the worker processes, this process's rank, and
+// the device-to-rank placement. An executor with a DistConfig hosts only
+// the stage replicas whose devices map to its rank; stage-boundary pairs
+// crossing ranks run over the TCP transport, same-rank pairs stay on the
+// zero-copy in-process backend, and replica groups spanning ranks
+// synchronize gradients hierarchically (local reduce, cross-process
+// exchange, local broadcast).
+type DistConfig struct {
+	// Transport is the process mesh (connected to every peer rank that
+	// shares a stage boundary or replica group with this one).
+	Transport *transport.TCP
+	// Rank is this process's rank in the mesh.
+	Rank int
+	// DeviceRanks maps every cluster device ID to its hosting rank.
+	DeviceRanks []int
+}
+
+// rankOf returns the hosting rank of device d.
+func (dc *DistConfig) rankOf(d hardware.DeviceID) int { return dc.DeviceRanks[int(d)] }
 
 // ExecOptions configure plan-driven execution.
 type ExecOptions struct {
@@ -49,6 +74,12 @@ type ExecOptions struct {
 
 	// NoTrace skips span recording, for benchmarks measuring pure execution.
 	NoTrace bool
+
+	// Dist, when non-nil, runs this executor as one rank of a multi-process
+	// session: only replicas placed on Dist.Rank are hosted and cross-rank
+	// traffic uses Dist.Transport. Nil (the default) hosts every replica
+	// in-process.
+	Dist *DistConfig
 }
 
 // ExecResult reports one really-executed training iteration of a plan.
@@ -110,6 +141,15 @@ type Executor struct {
 	errs      [][]error       // per-step worker errors, reused
 	lossParts []float64       // last stage's per-replica loss, reused
 
+	// inproc realizes same-process stage-boundary edges (all of them when
+	// opts.Dist is nil).
+	inproc *transport.Inproc
+
+	// gradsDirty marks that an aborted step may have left partial gradient
+	// accumulations in non-committed stages; the next step zeroes them
+	// before computing so its update is built from its own gradients alone.
+	gradsDirty bool
+
 	// Geometry-dependent caches, rebuilt when (rows, m) changes or a step
 	// aborts with transfers in flight.
 	rtRows, rtM int
@@ -126,10 +166,14 @@ type Executor struct {
 // shares.
 type estage struct {
 	lo, hi int
-	nets   []*nn.Network
+	repl   int                 // global replica count
+	devs   []hardware.DeviceID // replica devices, global
+	hosted []bool              // replica hosted in this process
+	local  []int               // replica -> local index among hosted (-1)
+	nets   []*nn.Network       // indexed by replica; nil when not hosted
 	opts   []nn.Optimizer
 	work   []*workerState
-	ar     *arGroup
+	ar     *arGroup // nil when no replica is hosted here
 
 	// Rebuilt by ensureRuntime per (rows, m) geometry.
 	offs     []int         // replica row offsets, len(nets)+1
@@ -151,7 +195,7 @@ type workerState struct {
 	stashes []rstash         // indexed by micro-batch, len m
 	pending []*tensor.Matrix // last stage: pooled loss gradients
 	xHdrs   []tensor.Matrix  // stage 0: reusable input view headers
-	bparts  []*tensor.Matrix // recvBwd scratch
+	bparts  []transport.Msg  // recvBwd scratch
 	pf      *prefetcher      // stages > 0: forward-input prefetcher
 
 	liveStash int
@@ -190,25 +234,72 @@ func NewExecutor(p *core.Plan, master *nn.Network, optFactory func() nn.Optimize
 	if err := p.CompatibleWithLayers(master.NumLayers()); err != nil {
 		return nil, err
 	}
-	e := &Executor{plan: p, opts: opts, stages: make([]*estage, 0, len(p.Stages))}
-	for _, s := range p.Stages {
-		st := &estage{lo: s.Lo, hi: s.Hi}
-		for r := 0; r < s.Replicas(); r++ {
-			net := master.SliceClone(s.Lo, s.Hi)
-			st.nets = append(st.nets, net)
-			st.opts = append(st.opts, optFactory())
-			st.work = append(st.work, &workerState{ws: nn.NewWorkspace(), params: net.Params()})
+	dist := opts.Dist
+	if dist != nil {
+		if dist.Transport == nil {
+			return nil, fmt.Errorf("train: distributed executor needs a transport")
 		}
-		var size int
-		for _, pr := range st.work[0].params {
-			size += len(pr.G.Data)
+		if n := p.Cluster.NumDevices(); len(dist.DeviceRanks) < n {
+			return nil, fmt.Errorf("train: device-rank map covers %d of %d devices", len(dist.DeviceRanks), n)
 		}
-		if len(st.nets) > 1 {
-			for _, w := range st.work {
-				w.gradBuf = make([]float64, size)
+	}
+	e := &Executor{plan: p, opts: opts, inproc: transport.NewInproc(), stages: make([]*estage, 0, len(p.Stages))}
+	for si, s := range p.Stages {
+		st := &estage{lo: s.Lo, hi: s.Hi, repl: s.Replicas(), devs: s.Devices}
+		st.nets = make([]*nn.Network, st.repl)
+		st.opts = make([]nn.Optimizer, st.repl)
+		st.work = make([]*workerState, st.repl)
+		st.hosted = make([]bool, st.repl)
+		st.local = make([]int, st.repl)
+		nlocal := 0
+		var localDevs []hardware.DeviceID
+		for r := 0; r < st.repl; r++ {
+			st.local[r] = -1
+			if dist != nil && dist.rankOf(s.Devices[r]) != dist.Rank {
+				continue
 			}
+			st.hosted[r] = true
+			st.local[r] = nlocal
+			nlocal++
+			localDevs = append(localDevs, s.Devices[r])
+			net := master.SliceClone(s.Lo, s.Hi)
+			st.nets[r] = net
+			st.opts[r] = optFactory()
+			st.work[r] = &workerState{ws: nn.NewWorkspace(), params: net.Params()}
 		}
-		st.ar = newARGroup(len(st.nets), size)
+		if nlocal > 0 {
+			var size int
+			for r := range st.work {
+				if st.work[r] == nil {
+					continue
+				}
+				for _, pr := range st.work[r].params {
+					size += len(pr.G.Data)
+				}
+				break
+			}
+			if st.repl > 1 {
+				for _, w := range st.work {
+					if w != nil {
+						w.gradBuf = make([]float64, size)
+					}
+				}
+			}
+			// A stage whose replica group spans worker processes exchanges
+			// gradients over the mesh; the member ranks are every rank
+			// hosting one of the stage's devices.
+			var grp transport.Group
+			if dist != nil && size > 0 {
+				ranks := stageRanks(dist, s.Devices)
+				if len(ranks) > 1 {
+					var err error
+					if grp, err = dist.Transport.OpenGroup(si, ranks, size); err != nil {
+						return nil, err
+					}
+				}
+			}
+			st.ar = newARGroup(nlocal, size, p.Cluster, localDevs, grp)
+		}
 		e.stages = append(e.stages, st)
 	}
 	e.errs = make([][]error, len(e.stages))
@@ -227,6 +318,30 @@ func NewExecutor(p *core.Plan, master *nn.Network, optFactory func() nn.Optimize
 		}
 	}
 	return e, nil
+}
+
+// stageRanks returns the sorted distinct ranks hosting the stage's devices.
+func stageRanks(dist *DistConfig, devs []hardware.DeviceID) []int {
+	var ranks []int
+	for _, d := range devs {
+		r := dist.rankOf(d)
+		dup := false
+		for _, x := range ranks {
+			if x == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ranks = append(ranks, r)
+		}
+	}
+	for i := 1; i < len(ranks); i++ {
+		for j := i; j > 0 && ranks[j] < ranks[j-1]; j-- {
+			ranks[j], ranks[j-1] = ranks[j-1], ranks[j]
+		}
+	}
+	return ranks
 }
 
 // ExecutePlan carves master by p, executes one training iteration over the
@@ -253,6 +368,22 @@ func (e *Executor) NumStages() int { return len(e.stages) }
 // StageParams returns the parameters of stage i's replica r, for equivalence
 // checks against a reference network.
 func (e *Executor) StageParams(i, r int) []nn.Param { return e.stages[i].nets[r].Params() }
+
+// HostsReplica reports whether stage i's replica r lives in this process
+// (always true without a DistConfig).
+func (e *Executor) HostsReplica(i, r int) bool { return e.stages[i].hosted[r] }
+
+// AllReduceAlgo names the gradient collective stage i selected from the
+// plan topology: "none" for unreplicated or parameter-free stages, "ring"
+// for single-server (or one-replica-per-server) groups, "hierarchical" for
+// server-spanning groups with co-located replicas and for groups spanning
+// worker processes. Stages with no locally hosted replica return "".
+func (e *Executor) AllReduceAlgo(i int) string {
+	if e.stages[i].ar == nil {
+		return ""
+	}
+	return e.stages[i].ar.algorithm()
+}
 
 // stepAbort is one step's abort latch. It is allocated per step (not reused)
 // so that a context.AfterFunc callback firing after its step already
@@ -314,14 +445,17 @@ func (e *Executor) ensureRuntime(rows, m int) error {
 	s := len(e.stages)
 	e.bounds = make([]*boundary, s-1)
 	for i := 0; i < s-1; i++ {
-		e.bounds[i] = newBoundary(rows, len(e.stages[i].nets), len(e.stages[i+1].nets), m)
+		var err error
+		if e.bounds[i], err = e.buildBoundary(i, rows, m); err != nil {
+			return err
+		}
 	}
 	depth := e.opts.PrefetchDepth
 	if depth <= 0 {
 		depth = 2
 	}
 	for i, st := range e.stages {
-		st.offs = partition(rows, len(st.nets))
+		st.offs = partition(rows, st.repl)
 		st.order = schedule.StageOrder(e.opts.Policy, m, warmup[i])
 		st.fwdOrder = st.fwdOrder[:0]
 		for _, o := range st.order {
@@ -337,13 +471,16 @@ func (e *Executor) ensureRuntime(rows, m int) error {
 		}
 		st.arName = fmt.Sprintf("AR.s%d", i)
 		for r, w := range st.work {
+			if w == nil {
+				continue
+			}
 			w.stashes = make([]rstash, m)
 			w.pending = make([]*tensor.Matrix, m)
 			if i == 0 {
 				w.xHdrs = make([]tensor.Matrix, m)
 			}
 			if w.bparts == nil {
-				w.bparts = make([]*tensor.Matrix, 0, 4)
+				w.bparts = make([]transport.Msg, 0, 4)
 			}
 			if i > 0 {
 				w.pf = &prefetcher{
@@ -352,13 +489,44 @@ func (e *Executor) ensureRuntime(rows, m int) error {
 					rows:  st.offs[r+1] - st.offs[r],
 					ready: make(chan prefetched, depth),
 					free:  make(chan *tensor.Matrix, m),
-					parts: make([]*tensor.Matrix, 0, len(e.stages[i-1].nets)),
+					parts: make([]transport.Msg, 0, e.stages[i-1].repl),
 				}
 			}
 		}
 	}
 	e.rtRows, e.rtM, e.rtValid = rows, m, true
 	return nil
+}
+
+// buildBoundary realizes cut i's edge matrix: pairs whose endpoints both
+// live in this process share an in-process edge, pairs crossing ranks open
+// the TCP edge toward the remote endpoint, and pairs entirely remote stay
+// nil. Without a DistConfig every pair is in-process — today's channel
+// semantics exactly.
+func (e *Executor) buildBoundary(i, rows, m int) (*boundary, error) {
+	snd, rcv := e.stages[i], e.stages[i+1]
+	dist := e.opts.Dist
+	mk := func(id transport.EdgeID) (transport.Edge, error) {
+		// For Bwd edges the EdgeID's S is the downstream (receiver stage)
+		// replica and Q the upstream one; hosting is a property of the
+		// stages, not of the message direction.
+		up, down := id.S, id.Q
+		if id.Dir == transport.Bwd {
+			up, down = id.Q, id.S
+		}
+		uh, dh := snd.hosted[up], rcv.hosted[down]
+		switch {
+		case uh && dh:
+			return e.inproc.OpenEdge(id, 0, m)
+		case uh:
+			return dist.Transport.OpenEdge(id, dist.rankOf(rcv.devs[down]), m)
+		case dh:
+			return dist.Transport.OpenEdge(id, dist.rankOf(snd.devs[up]), m)
+		default:
+			return nil, nil
+		}
+	}
+	return newBoundary(i, rows, snd.repl, rcv.repl, m, mk)
 }
 
 // Step executes one training iteration over the micro-batches and applies
@@ -390,8 +558,8 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 	}
 	rows := micros[0].X.Rows
 	for i, st := range e.stages {
-		if r := len(st.nets); rows < r {
-			return nil, fmt.Errorf("train: micro-batch of %d rows split across %d replicas of stage %d", rows, r, i)
+		if rows < st.repl {
+			return nil, fmt.Errorf("train: micro-batch of %d rows split across %d replicas of stage %d", rows, st.repl, i)
 		}
 	}
 	if err := e.ensureRuntime(rows, m); err != nil {
@@ -407,12 +575,25 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 		e.rec.Reset()
 	}
 	for i, st := range e.stages {
-		st.ar.reset()
+		if st.ar != nil {
+			st.ar.reset()
+		}
 		for r, w := range st.work {
+			if w == nil {
+				continue
+			}
 			w.liveStash, w.curBytes, w.maxStash, w.maxBytes = 0, 0, 0, 0
 			e.errs[i][r] = nil
+			if e.gradsDirty {
+				// A previously aborted step may have left partial gradient
+				// accumulations in stages that never committed; start clean.
+				for _, p := range w.params {
+					p.G.Zero()
+				}
+			}
 		}
 	}
+	e.gradsDirty = false
 	for i := range e.lossParts {
 		e.lossParts[i] = 0
 	}
@@ -427,7 +608,11 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 	var wg sync.WaitGroup
 	for i, st := range e.stages {
 		for r := range st.nets {
-			if w := st.work[r]; w.pf != nil {
+			w := st.work[r]
+			if w == nil {
+				continue
+			}
+			if w.pf != nil {
 				// Prefetchers join the step's wait group: an aborted step's
 				// stale prefetcher must be fully exited before a later step
 				// rebuilds the state it reads.
@@ -451,9 +636,11 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 	wall := time.Since(wallStart).Seconds()
 	select {
 	case <-ss.abort:
-		// Aborted steps leave transfers and pool leases in an undefined
-		// state; the next step rebuilds the runtime from scratch.
+		// Aborted steps leave transfers, pool leases and possibly partial
+		// gradient accumulations in an undefined state; the next step
+		// rebuilds the runtime and zeroes hosted gradients first.
 		e.rtValid = false
+		e.gradsDirty = true
 	default:
 	}
 	if err := ctx.Err(); err != nil {
@@ -480,6 +667,9 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 	res.Loss /= float64(m)
 	for i, st := range e.stages {
 		for _, w := range st.work {
+			if w == nil {
+				continue
+			}
 			res.MaxStash[i] = max(res.MaxStash[i], w.maxStash)
 			res.MaxStashBytes[i] = max(res.MaxStashBytes[i], w.maxBytes)
 		}
@@ -510,11 +700,13 @@ type prefetcher struct {
 	rows  int
 	ready chan prefetched
 	free  chan *tensor.Matrix
-	parts []*tensor.Matrix
+	parts []transport.Msg
 }
 
 // run receives every forward input of one step in order, assembling
-// multi-sender parts into recycled buffers, until done or aborted.
+// multi-sender parts into recycled buffers, until done or aborted. A single
+// full-range part is forwarded zero-copy with its own recycle destination
+// (nil for in-process views, the transfer ring for TCP arrivals).
 func (pf *prefetcher) run(fwdOrder []int, abort <-chan struct{}) {
 	for _, mb := range fwdOrder {
 		parts, err := pf.bound.recvFwdParts(pf.q, mb, pf.parts, abort)
@@ -530,10 +722,13 @@ func (pf *prefetcher) run(fwdOrder []int, abort <-chan struct{}) {
 		pf.parts = parts
 		var out prefetched
 		if len(parts) == 1 {
-			out = prefetched{m: mb, data: parts[0]}
+			out = prefetched{m: mb, data: parts[0].Data, free: parts[0].Free}
 		} else {
-			dst := leaseBuf(pf.free, pf.rows, parts[0].Cols)
-			tensor.ConcatRowsInto(dst, parts...)
+			dst := transport.LeaseBuf(pf.free, pf.rows, parts[0].Data.Cols)
+			concatMsgRows(dst, parts)
+			for _, p := range parts {
+				transport.Recycle(p.Free, p.Data)
+			}
 			out = prefetched{m: mb, data: dst, free: pf.free}
 		}
 		select {
@@ -559,17 +754,18 @@ func (e *Executor) runWorker(ss *stepState, i, r int) error {
 	}
 
 	// Gradient sync and weight update (Fig. 10): sum replica gradients with
-	// a real ring all-reduce, average over micro-batches, apply identical
-	// updates per replica. arrive decides commit-or-abort atomically for the
-	// whole stage, so an aborted step can never leave replicas divergent.
+	// the stage's collective (flat ring, hierarchical, or cross-process
+	// exchange), average over micro-batches, apply identical updates per
+	// replica. arrive decides commit-or-abort atomically for the whole
+	// stage, so an aborted step can never leave local replicas divergent.
 	start := e.now()
-	if len(st.nets) > 1 {
+	if st.repl > 1 {
 		gradVectorInto(w.gradBuf, w.params)
 	}
-	if !st.ar.arrive(r, w.gradBuf) {
+	if !st.ar.arrive(st.local[r], w.gradBuf, ss.abort) {
 		return errAborted
 	}
-	if len(st.nets) > 1 {
+	if st.repl > 1 {
 		setGradVector(w.params, w.gradBuf)
 	}
 	scaleGrads(w.params, 1/float64(ss.m))
@@ -647,7 +843,9 @@ func (e *Executor) workerCompute(ss *stepState, i, r int) (float64, error) {
 			}
 			e.record(i, r, st.fwdNames[o.M], "fwd", start)
 			if !last {
-				e.bounds[i].sendFwd(r, o.M, out)
+				if err := e.bounds[i].sendFwd(r, o.M, out); err != nil {
+					return 0, err
+				}
 			}
 			if e.opts.Recompute {
 				// Drop the activation state now; keep only the input (the
@@ -689,7 +887,9 @@ func (e *Executor) workerCompute(ss *stepState, i, r int) (float64, error) {
 		w.curBytes -= sh.bytes
 		e.record(i, r, st.bwdNames[o.M], "bwd", start)
 		if i > 0 {
-			e.bounds[i-1].sendBwd(r, o.M, dx)
+			if err := e.bounds[i-1].sendBwd(r, o.M, dx); err != nil {
+				return 0, err
+			}
 		}
 		// Release this micro-batch's buffers: the gradients, the forward
 		// input (back to its transfer ring when it was assembled), and in
@@ -698,12 +898,12 @@ func (e *Executor) workerCompute(ss *stepState, i, r int) (float64, error) {
 			ws.Put(dx)
 		}
 		if dyFree != nil {
-			recycle(dyFree, dy)
+			transport.Recycle(dyFree, dy)
 		} else {
 			ws.Put(dy)
 		}
 		if sh.inFree != nil {
-			recycle(sh.inFree, sh.in)
+			transport.Recycle(sh.inFree, sh.in)
 			sh.inFree = nil
 		}
 		if sh.out != nil {
@@ -778,89 +978,4 @@ func gradVectorInto(buf []float64, params []nn.Param) {
 	if at != len(buf) {
 		panic("train: gradient buffer length mismatch")
 	}
-}
-
-// arGroup synchronizes one stage's replica gradients at iteration end.
-// Every replica worker reports to the group exactly once per step — arrive
-// with its flattened gradients on success, abandon on any failure — and the
-// n-th report decides the stage's fate atomically: if all n arrived, the
-// last one runs the ring all-reduce (reusing the group's persistent ring
-// scratch) and commits; if any replica abandoned, nobody commits. Because
-// the decision is taken once, with complete information, an aborted step
-// can never apply a weight update on some replicas but not others. Waiters
-// block on done alone (no abort select): every peer's error path leads to
-// abandon, so done always closes. The group is reset — not reallocated —
-// every step.
-type arGroup struct {
-	mu      sync.Mutex
-	bufs    [][]float64
-	arrived int
-	failed  bool
-	commit  bool
-	done    chan struct{}
-	ring    *ringState
-}
-
-// newARGroup returns a reusable barrier for n replicas of size-element
-// gradient vectors.
-func newARGroup(n, size int) *arGroup {
-	g := &arGroup{bufs: make([][]float64, n), done: make(chan struct{})}
-	if n > 1 && size > 0 {
-		g.ring = newRingState(n, size)
-	}
-	return g
-}
-
-// reset re-arms the barrier for the next step.
-func (g *arGroup) reset() {
-	g.arrived = 0
-	g.failed = false
-	g.commit = false
-	g.done = make(chan struct{})
-	for i := range g.bufs {
-		g.bufs[i] = nil
-	}
-}
-
-// abandon is a failed replica's report: it counts as the replica's arrival
-// and vetoes the stage's commit, releasing any waiting peers.
-func (g *arGroup) abandon() {
-	g.mu.Lock()
-	g.arrived++
-	g.failed = true
-	last := g.arrived == len(g.bufs)
-	done := g.done
-	g.mu.Unlock()
-	if last {
-		close(done)
-	}
-}
-
-// arrive contributes buf and blocks until every replica has reported,
-// returning whether the stage committed. On commit, every replica's buf
-// holds the bit-identical all-reduced sum.
-func (g *arGroup) arrive(r int, buf []float64) bool {
-	n := len(g.bufs)
-	if n == 1 {
-		return true
-	}
-	g.mu.Lock()
-	g.bufs[r] = buf
-	g.arrived++
-	last := g.arrived == n
-	failed := g.failed
-	done := g.done
-	g.mu.Unlock()
-	if last {
-		if !failed {
-			if g.ring != nil { // nil for parameter-free stages (nothing to sum)
-				g.ring.allReduce(g.bufs)
-			}
-			g.commit = true // written before close(done), read after it
-		}
-		close(done)
-	} else {
-		<-done
-	}
-	return g.commit
 }

@@ -5,6 +5,7 @@ import (
 
 	"dapple/internal/nn"
 	"dapple/internal/tensor"
+	"dapple/internal/transport"
 )
 
 // partition returns the k+1 row offsets of splitting rows across k parts,
@@ -24,107 +25,6 @@ func partition(rows, k int) []int {
 	return offs
 }
 
-// linkMsg carries one micro-batch's row block between two workers.
-type linkMsg struct {
-	m    int
-	data *tensor.Matrix
-}
-
-// fwdChan is one forward (activation) edge of a boundary cut. Forward
-// transfers are zero-copy: the sender publishes a view of its output through
-// a reusable per-micro-batch header, which is safe because the sender's
-// output buffer stays leased until the sender's own backward of that
-// micro-batch — and pipeline causality (the backward gradient flows receiver
-// → sender) guarantees the receiver is completely done reading by then.
-type fwdChan struct {
-	lo, hi int // global-row intersection of sender and receiver parts
-	ch     chan linkMsg
-	hdrs   []tensor.Matrix // per-micro-batch view headers, reused across steps
-}
-
-// bwdChan is one backward (gradient) edge of a boundary cut. Backward
-// transfers copy into recycled fixed-shape buffers (the producer releases
-// its gradient buffer right after sending, so views would dangle); consumers
-// return buffers through free once the gradient is consumed.
-type bwdChan struct {
-	lo, hi int
-	ch     chan linkMsg
-	free   chan *tensor.Matrix
-}
-
-// leaseBuf leases a rows x cols transfer buffer from a free list: recycled
-// when one of the right shape is available, freshly allocated otherwise
-// (only before the steady state). Shared by the backward transfer rings and
-// the forward prefetcher's assembly ring.
-func leaseBuf(free chan *tensor.Matrix, rows, cols int) *tensor.Matrix {
-	select {
-	case b := <-free:
-		if b.Rows == rows && b.Cols == cols {
-			return b
-		}
-	default:
-	}
-	return tensor.New(rows, cols)
-}
-
-// recycle returns a consumed transfer buffer, dropping it when the free list
-// is full.
-func recycle(free chan *tensor.Matrix, b *tensor.Matrix) {
-	select {
-	case free <- b:
-	default:
-	}
-}
-
-// boundary wires one stage cut of the pipeline: a channel matrix between the
-// sender stage's replicas and the receiver stage's replicas realizing the
-// paper's split/concat semantics (§V-B2). Each replica owns a contiguous
-// global row range of the micro-batch; a channel exists exactly where a
-// sender's range intersects a receiver's, so unequal replication degrees
-// redistribute rows without any central concat node. Forward (activations)
-// and backward (gradients) directions use separate channels, mirroring the
-// simulator's full-duplex link resources. A boundary is built once per step
-// geometry and all its transfer state — view headers forward, recycled
-// buffers backward — is reused across training iterations, so a warm
-// boundary moves every micro-batch with zero allocation.
-type boundary struct {
-	sendOffs []int        // sender-stage row offsets, len(senders)+1
-	recvOffs []int        // receiver-stage row offsets, len(receivers)+1
-	fwd      [][]*fwdChan // [sender][receiver]
-	bwd      [][]*bwdChan // [sender][receiver]
-}
-
-// newBoundary builds the channel matrix for a cut between rs sender replicas
-// and rr receiver replicas over micro-batches of the given rows. Channels are
-// buffered for m in-flight micro-batches so sends never block.
-func newBoundary(rows, rs, rr, m int) *boundary {
-	b := &boundary{
-		sendOffs: partition(rows, rs),
-		recvOffs: partition(rows, rr),
-		fwd:      make([][]*fwdChan, rs),
-		bwd:      make([][]*bwdChan, rs),
-	}
-	for s := 0; s < rs; s++ {
-		b.fwd[s] = make([]*fwdChan, rr)
-		b.bwd[s] = make([]*bwdChan, rr)
-		for q := 0; q < rr; q++ {
-			if lo, hi := intersect(b.sendOffs, s, b.recvOffs, q); hi > lo {
-				b.fwd[s][q] = &fwdChan{
-					lo: lo, hi: hi,
-					ch:   make(chan linkMsg, m),
-					hdrs: make([]tensor.Matrix, m),
-				}
-				b.bwd[s][q] = &bwdChan{
-					lo: lo, hi: hi,
-					ch:   make(chan linkMsg, m),
-					free: make(chan *tensor.Matrix, m),
-				}
-			}
-		}
-	}
-	return b
-}
-
 // intersect returns the global-row overlap of sender part s and receiver
 // part q.
 func intersect(sendOffs []int, s int, recvOffs []int, q int) (int, int) {
@@ -133,44 +33,123 @@ func intersect(sendOffs []int, s int, recvOffs []int, q int) (int, int) {
 	return lo, hi
 }
 
-// sendFwd scatters sender replica s's forward output (its local rows) to
-// every receiver whose row range intersects, publishing views through the
-// per-micro-batch header ring — no copy, no allocation. The sender must keep
-// data's storage leased until its own backward of micro-batch m (the
-// executor's run ownership does), which by pipeline causality outlives every
-// receiver's reads.
-func (b *boundary) sendFwd(s, m int, data *tensor.Matrix) {
-	srcLo := b.sendOffs[s]
-	for q := range b.fwd[s] {
-		if fc := b.fwd[s][q]; fc != nil {
-			hdr := &fc.hdrs[m]
-			data.RowSliceInto(hdr, fc.lo-srcLo, fc.hi-srcLo)
-			fc.ch <- linkMsg{m, hdr}
+// edgeMaker realizes one directed link of a cut over some transport backend,
+// returning nil (no error) when neither endpoint lives in this process — a
+// distributed executor only materializes the edges it touches.
+type edgeMaker func(id transport.EdgeID) (transport.Edge, error)
+
+// bedge is one realized edge of a boundary: the global-row intersection it
+// carries, the transport link, and the reusable send-side view headers
+// (per-micro-batch for forward sends, a single scratch header for backward
+// sends, which copy before returning).
+type bedge struct {
+	lo, hi int
+	e      transport.Edge
+	hdrs   []tensor.Matrix // forward: per-micro-batch view headers
+	tmp    tensor.Matrix   // backward: reusable row-slice header
+}
+
+// boundary wires one stage cut of the pipeline: an edge matrix between the
+// sender stage's replicas and the receiver stage's replicas realizing the
+// paper's split/concat semantics (§V-B2). Each replica owns a contiguous
+// global row range of the micro-batch; an edge exists exactly where a
+// sender's range intersects a receiver's, so unequal replication degrees
+// redistribute rows without any central concat node. Forward (activations)
+// and backward (gradients) directions use separate edges, mirroring the
+// simulator's full-duplex link resources. A boundary is built once per step
+// geometry and all its transfer state — view headers forward, recycled
+// buffers backward — is reused across training iterations, so a warm
+// in-process boundary moves every micro-batch with zero allocation. In a
+// distributed run, pairs whose endpoints share the process use in-process
+// edges and cross-process pairs use the TCP backend; pairs entirely remote
+// stay nil.
+type boundary struct {
+	sendOffs []int      // sender-stage row offsets, len(senders)+1
+	recvOffs []int      // receiver-stage row offsets, len(receivers)+1
+	fwd      [][]*bedge // [sender][receiver]
+	bwd      [][]*bedge // [sender][receiver]
+}
+
+// newBoundary builds the edge matrix for cut bound (between stages bound and
+// bound+1) with rs sender replicas and rr receiver replicas over
+// micro-batches of the given rows. Edges are buffered for m in-flight
+// micro-batches so sends never block; mk chooses each pair's backend.
+func newBoundary(bound, rows, rs, rr, m int, mk edgeMaker) (*boundary, error) {
+	b := &boundary{
+		sendOffs: partition(rows, rs),
+		recvOffs: partition(rows, rr),
+		fwd:      make([][]*bedge, rs),
+		bwd:      make([][]*bedge, rs),
+	}
+	for s := 0; s < rs; s++ {
+		b.fwd[s] = make([]*bedge, rr)
+		b.bwd[s] = make([]*bedge, rr)
+		for q := 0; q < rr; q++ {
+			lo, hi := intersect(b.sendOffs, s, b.recvOffs, q)
+			if hi <= lo {
+				continue
+			}
+			fe, err := mk(transport.EdgeID{Bound: bound, Dir: transport.Fwd, S: s, Q: q})
+			if err != nil {
+				return nil, err
+			}
+			if fe != nil {
+				b.fwd[s][q] = &bedge{lo: lo, hi: hi, e: fe, hdrs: make([]tensor.Matrix, m)}
+			}
+			be, err := mk(transport.EdgeID{Bound: bound, Dir: transport.Bwd, S: q, Q: s})
+			if err != nil {
+				return nil, err
+			}
+			if be != nil {
+				b.bwd[s][q] = &bedge{lo: lo, hi: hi, e: be}
+			}
 		}
 	}
+	return b, nil
+}
+
+// sendFwd scatters sender replica s's forward output (its local rows) to
+// every receiver whose row range intersects, publishing views through the
+// per-micro-batch header ring — no copy, no allocation on the in-process
+// backend. The sender must keep data's storage leased until its own backward
+// of micro-batch m (the executor's run ownership does), which by pipeline
+// causality outlives every receiver's reads and every in-flight
+// serialization.
+func (b *boundary) sendFwd(s, m int, data *tensor.Matrix) error {
+	srcLo := b.sendOffs[s]
+	for _, be := range b.fwd[s] {
+		if be == nil {
+			continue
+		}
+		hdr := &be.hdrs[m]
+		data.RowSliceInto(hdr, be.lo-srcLo, be.hi-srcLo)
+		if err := be.e.SendView(m, hdr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // recvFwdParts receives receiver replica q's forward input parts for
-// micro-batch m in sender order, reusing the caller's scratch slice. The
-// parts are views into sender-owned storage; callers must be done reading
-// before their own backward of m completes (they are: the stashes that
-// reference them die with that backward).
-func (b *boundary) recvFwdParts(q, m int, scratch []*tensor.Matrix, abort <-chan struct{}) ([]*tensor.Matrix, error) {
+// micro-batch m in sender order, reusing the caller's scratch slice. Parts
+// from in-process senders are views into sender-owned storage (Free nil);
+// parts from remote senders arrive in recycled transfer buffers the caller
+// must Recycle once consumed.
+func (b *boundary) recvFwdParts(q, m int, scratch []transport.Msg, abort <-chan struct{}) ([]transport.Msg, error) {
 	parts := scratch[:0]
 	for s := range b.fwd {
-		fc := b.fwd[s][q]
-		if fc == nil {
+		be := b.fwd[s][q]
+		if be == nil {
 			continue
 		}
-		select {
-		case in := <-fc.ch:
-			if in.m != m {
-				return nil, fmt.Errorf("train: link expected F%d, got F%d", m, in.m)
-			}
-			parts = append(parts, in.data)
-		case <-abort:
-			return nil, errAborted
+		in, err := be.e.Recv(abort)
+		if err != nil {
+			return nil, err
 		}
+		if in.M != m {
+			return nil, fmt.Errorf("train: link expected F%d, got F%d", m, in.M)
+		}
+		parts = append(parts, in)
 	}
 	return parts, nil
 }
@@ -178,16 +157,19 @@ func (b *boundary) recvFwdParts(q, m int, scratch []*tensor.Matrix, abort <-chan
 // sendBwd scatters receiver replica q's input gradient back to every
 // intersecting sender replica of the previous stage, copying into recycled
 // transfer buffers (data may be released by the caller immediately after).
-func (b *boundary) sendBwd(q, m int, data *tensor.Matrix) {
+func (b *boundary) sendBwd(q, m int, data *tensor.Matrix) error {
 	srcLo := b.recvOffs[q]
-	cols := data.Cols
 	for s := range b.bwd {
-		if bc := b.bwd[s][q]; bc != nil {
-			buf := leaseBuf(bc.free, bc.hi-bc.lo, cols)
-			copy(buf.Data, data.Data[(bc.lo-srcLo)*cols:(bc.hi-srcLo)*cols])
-			bc.ch <- linkMsg{m, buf}
+		be := b.bwd[s][q]
+		if be == nil {
+			continue
+		}
+		data.RowSliceInto(&be.tmp, be.lo-srcLo, be.hi-srcLo)
+		if err := be.e.SendCopy(m, &be.tmp); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // recvBwd gathers sender replica s's output gradient for micro-batch m. A
@@ -196,37 +178,42 @@ func (b *boundary) sendBwd(q, m int, data *tensor.Matrix) {
 // (free == nil) with the transfer buffers recycled immediately. Either way
 // the caller owns the returned gradient until it returns it: to free when
 // non-nil, to ws otherwise.
-func (b *boundary) recvBwd(s, m int, scratch *[]*tensor.Matrix, ws *nn.Workspace, abort <-chan struct{}) (*tensor.Matrix, chan *tensor.Matrix, error) {
+func (b *boundary) recvBwd(s, m int, scratch *[]transport.Msg, ws *nn.Workspace, abort <-chan struct{}) (*tensor.Matrix, chan *tensor.Matrix, error) {
 	parts := (*scratch)[:0]
 	defer func() { *scratch = parts[:0] }()
-	var single *bwdChan
 	for q := range b.bwd[s] {
-		bc := b.bwd[s][q]
-		if bc == nil {
+		be := b.bwd[s][q]
+		if be == nil {
 			continue
 		}
-		single = bc
-		select {
-		case in := <-bc.ch:
-			if in.m != m {
-				return nil, nil, fmt.Errorf("train: link expected B%d, got B%d", m, in.m)
-			}
-			parts = append(parts, in.data)
-		case <-abort:
-			return nil, nil, errAborted
+		in, err := be.e.Recv(abort)
+		if err != nil {
+			return nil, nil, err
 		}
+		if in.M != m {
+			return nil, nil, fmt.Errorf("train: link expected B%d, got B%d", m, in.M)
+		}
+		parts = append(parts, in)
 	}
 	if len(parts) == 1 {
-		return parts[0], single.free, nil
+		return parts[0].Data, parts[0].Free, nil
 	}
-	dst := ws.Get(b.sendOffs[s+1]-b.sendOffs[s], parts[0].Cols)
-	tensor.ConcatRowsInto(dst, parts...)
-	k := 0
-	for q := range b.bwd[s] {
-		if bc := b.bwd[s][q]; bc != nil {
-			recycle(bc.free, parts[k])
-			k++
-		}
+	dst := ws.Get(b.sendOffs[s+1]-b.sendOffs[s], parts[0].Data.Cols)
+	concatMsgRows(dst, parts)
+	for _, p := range parts {
+		transport.Recycle(p.Free, p.Data)
 	}
 	return dst, nil, nil
+}
+
+// concatMsgRows stacks the messages' tensors into dst in order.
+func concatMsgRows(dst *tensor.Matrix, parts []transport.Msg) {
+	at := 0
+	for _, p := range parts {
+		copy(dst.Data[at:], p.Data.Data)
+		at += len(p.Data.Data)
+	}
+	if at != len(dst.Data) {
+		panic("train: concatenated parts do not tile the destination")
+	}
 }

@@ -1,0 +1,163 @@
+package transport
+
+import "sync"
+
+// Ring is the reusable scratch of one in-process ring all-reduce group: the
+// ring channels plus per-rank chunk transfer buffers, sized once so a
+// steady-state training iteration synchronizes gradients without
+// allocating.
+//
+// Each rank rotates through three send buffers. Three is the minimum safe
+// depth for the cap-1 ring channels: by the Go memory model, the receive of
+// message k happens-before the completion of send k+1, so by the time a rank
+// copies message j+3 into the slot message j used, its neighbor has received
+// message j+1 — which, in the neighbor's program order, is after it finished
+// reading message j. Two slots would leave the copy racing the neighbor's
+// reads.
+type Ring struct {
+	n, size int
+	ch      []chan []float64 // ch[i] carries chunks from rank i to (i+1) mod n
+	out     [][]float64      // 3 rotating send-scratch chunks per rank
+}
+
+// NewRing builds scratch for n participants with size-element vectors.
+func NewRing(n, size int) *Ring {
+	r := &Ring{
+		n: n, size: size,
+		ch:  make([]chan []float64, n),
+		out: make([][]float64, 3*n),
+	}
+	maxChunk := (size + n - 1) / n
+	for i := range r.ch {
+		r.ch[i] = make(chan []float64, 1)
+	}
+	for i := range r.out {
+		r.out[i] = make([]float64, maxChunk)
+	}
+	return r
+}
+
+// chunk returns the [lo, hi) bounds of chunk c.
+func (r *Ring) chunk(c int) (int, int) {
+	base, extra := r.size/r.n, r.size%r.n
+	lo := c*base + min(c, extra)
+	sz := base
+	if c < extra {
+		sz++
+	}
+	return lo, lo + sz
+}
+
+// AllReduce sums bufs (len n, each size elements) in place using the
+// standard ring algorithm — n-1 reduce-scatter steps then n-1 all-gather
+// steps, each participant its own goroutine — reusing the group's channels
+// and chunk scratch. On return every buffer holds the bit-identical
+// element-wise sum. The channels are drained on return, so consecutive calls
+// may share one Ring; concurrent calls may not.
+func (r *Ring) AllReduce(bufs [][]float64) {
+	n := r.n
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			buf := bufs[rank]
+			send := r.ch[rank]
+			recv := r.ch[(rank-1+n)%n]
+
+			// Reduce-scatter: after step s, rank owns the full sum of chunk
+			// (rank+1) mod n at the end.
+			for s := 0; s < n-1; s++ {
+				c := (rank - s + n) % n
+				lo, hi := r.chunk(c)
+				out := r.out[3*rank+s%3][:hi-lo]
+				copy(out, buf[lo:hi])
+				send <- out
+				in := <-recv
+				c2 := (rank - s - 1 + n) % n
+				lo2, _ := r.chunk(c2)
+				for i, v := range in {
+					buf[lo2+i] += v
+				}
+			}
+			// All-gather: circulate the completed chunks.
+			for s := 0; s < n-1; s++ {
+				c := (rank + 1 - s + n) % n
+				lo, hi := r.chunk(c)
+				out := r.out[3*rank+(n-1+s)%3][:hi-lo]
+				copy(out, buf[lo:hi])
+				send <- out
+				in := <-recv
+				c2 := (rank - s + n) % n
+				lo2, _ := r.chunk(c2)
+				copy(buf[lo2:lo2+len(in)], in)
+			}
+		}(rank)
+	}
+	wg.Wait()
+}
+
+// Hier is the in-process hierarchical all-reduce of paper §III for replica
+// groups that span servers with more than one member per server: each
+// server's members are reduced locally onto a leader, the leaders' partial
+// sums are exchanged and summed across servers, and the total is broadcast
+// back within each server — so the slow cross-server links carry one
+// vector per server instead of one per replica. Sums are taken in a fixed
+// member-then-group order, so every participant ends bit-identical.
+type Hier struct {
+	groups [][]int // participant indices per server, in replica order
+	size   int
+	total  []float64 // cross-server accumulation scratch
+}
+
+// NewHier builds a hierarchical group over size-element vectors; groups
+// lists each server's participant indices.
+func NewHier(groups [][]int, size int) *Hier {
+	return &Hier{groups: groups, size: size, total: make([]float64, size)}
+}
+
+// AllReduce sums bufs in place: intra-server reduce onto each group's first
+// member, cross-server exchange into the total scratch, intra-server
+// broadcast. Every buffer ends holding the bit-identical sum.
+func (h *Hier) AllReduce(bufs [][]float64) {
+	// Phase 1: reduce each server's members onto its leader, in member
+	// order, one goroutine per server.
+	var wg sync.WaitGroup
+	for _, g := range h.groups {
+		if len(g) < 2 {
+			continue
+		}
+		wg.Add(1)
+		go func(g []int) {
+			defer wg.Done()
+			lead := bufs[g[0]]
+			for _, i := range g[1:] {
+				for k, v := range bufs[i] {
+					lead[k] += v
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Phase 2: exchange the per-server partial sums, accumulating in group
+	// order so the total is identical everywhere.
+	copy(h.total, bufs[h.groups[0][0]])
+	for _, g := range h.groups[1:] {
+		for k, v := range bufs[g[0]] {
+			h.total[k] += v
+		}
+	}
+
+	// Phase 3: broadcast the total back within each server.
+	for _, g := range h.groups {
+		wg.Add(1)
+		go func(g []int) {
+			defer wg.Done()
+			for _, i := range g {
+				copy(bufs[i], h.total)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

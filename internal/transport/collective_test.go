@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveSum returns the element-wise sum of the vectors.
+func naiveSum(bufs [][]float64) []float64 {
+	out := make([]float64, len(bufs[0]))
+	for _, b := range bufs {
+		for i, v := range b {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// randBufs builds n random size-element vectors.
+func randBufs(n, size int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	bufs := make([][]float64, n)
+	for i := range bufs {
+		bufs[i] = make([]float64, size)
+		for j := range bufs[i] {
+			bufs[i][j] = rng.NormFloat64()
+		}
+	}
+	return bufs
+}
+
+func TestRingAllReduce(t *testing.T) {
+	for _, tc := range [][2]int{{2, 1}, {2, 17}, {3, 8}, {5, 100}, {8, 1000}, {7, 3}} {
+		n, size := tc[0], tc[1]
+		bufs := randBufs(n, size, int64(n*1000+size))
+		want := naiveSum(bufs)
+		r := NewRing(n, size)
+		for iter := 0; iter < 3; iter++ { // reuse the same Ring state
+			if iter > 0 {
+				bufs = randBufs(n, size, int64(iter))
+				want = naiveSum(bufs)
+			}
+			r.AllReduce(bufs)
+			for rank := range bufs {
+				for i := range want {
+					if math.Abs(bufs[rank][i]-want[i]) > 1e-12*math.Max(1, math.Abs(want[i])) {
+						t.Fatalf("n=%d size=%d iter=%d rank %d element %d: %g want %g", n, size, iter, rank, i, bufs[rank][i], want[i])
+					}
+					if bufs[rank][i] != bufs[0][i] {
+						t.Fatalf("n=%d size=%d: ranks not bit-identical", n, size)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHierAllReduce(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		groups [][]int
+		size   int
+	}{
+		{"2x2", [][]int{{0, 1}, {2, 3}}, 33},
+		{"uneven", [][]int{{0, 1, 2}, {3}, {4, 5}}, 17},
+		{"3x4", [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}, 256},
+		{"singletons", [][]int{{0}, {1}, {2}}, 9},
+	} {
+		n := 0
+		for _, g := range tc.groups {
+			n += len(g)
+		}
+		h := NewHier(tc.groups, tc.size)
+		for iter := 0; iter < 3; iter++ { // reuse the same Hier state
+			bufs := randBufs(n, tc.size, int64(iter+7))
+			want := naiveSum(bufs)
+			h.AllReduce(bufs)
+			for rank := range bufs {
+				for i := range want {
+					if math.Abs(bufs[rank][i]-want[i]) > 1e-12*math.Max(1, math.Abs(want[i])) {
+						t.Fatalf("%s iter %d rank %d element %d: %g want %g", tc.name, iter, rank, i, bufs[rank][i], want[i])
+					}
+					if bufs[rank][i] != bufs[0][i] {
+						t.Fatalf("%s: participants not bit-identical", tc.name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"testing"
+
+	"dapple/internal/tensor"
+)
+
+// TestLeaseBufReusesAcrossGeometryChange is the regression test for the
+// free-list bug where a recycled buffer of the wrong shape was silently
+// discarded: after a micro-batch geometry change, warm buffers with enough
+// capacity must be resliced and re-leased, not leaked for reallocation.
+func TestLeaseBufReusesAcrossGeometryChange(t *testing.T) {
+	free := make(chan *tensor.Matrix, 4)
+
+	big := LeaseBuf(free, 8, 16)
+	Recycle(free, big)
+
+	// Shrinking geometry: the 8x16 buffer has capacity for 4x16.
+	before := BufMisses()
+	small := LeaseBuf(free, 4, 16)
+	if BufMisses() != before {
+		t.Fatalf("shrinking lease counted a miss")
+	}
+	if small.Rows != 4 || small.Cols != 16 || len(small.Data) != 64 {
+		t.Fatalf("re-leased buffer has shape %dx%d len %d", small.Rows, small.Cols, len(small.Data))
+	}
+	if &small.Data[0] != &big.Data[0] {
+		t.Fatalf("shrinking lease allocated instead of reusing the recycled buffer")
+	}
+
+	// Growing geometry: capacity is insufficient, so the buffer is dropped
+	// and the miss counted.
+	Recycle(free, small)
+	before = BufMisses()
+	grown := LeaseBuf(free, 32, 32)
+	if BufMisses() != before+1 {
+		t.Fatalf("growing lease did not count the dropped buffer (misses %d -> %d)", before, BufMisses())
+	}
+	if grown.Rows != 32 || grown.Cols != 32 {
+		t.Fatalf("grown lease has shape %dx%d", grown.Rows, grown.Cols)
+	}
+
+	// Exact-shape recycling stays the zero-alloc fast path.
+	Recycle(free, grown)
+	again := LeaseBuf(free, 32, 32)
+	if again != grown {
+		t.Fatalf("exact-shape lease did not return the recycled buffer")
+	}
+}
+
+// TestRecycleDropsWhenFull checks the bounded free list never blocks.
+func TestRecycleDropsWhenFull(t *testing.T) {
+	free := make(chan *tensor.Matrix, 1)
+	Recycle(free, tensor.New(1, 1))
+	Recycle(free, tensor.New(1, 1)) // must not block
+	if len(free) != 1 {
+		t.Fatalf("free list holds %d buffers, want 1", len(free))
+	}
+	Recycle(nil, tensor.New(1, 1)) // nil free list is a no-op
+}

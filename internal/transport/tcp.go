@@ -1,0 +1,834 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dapple/internal/tensor"
+)
+
+// CtrlMsg is one received control-plane payload and the rank it came from.
+type CtrlMsg struct {
+	// Peer is the sender's rank.
+	Peer int
+	// Data is the opaque control payload.
+	Data []byte
+}
+
+// TensorMsg is one received out-of-band tensor (weight broadcast, step
+// inputs) with its routing fields.
+type TensorMsg struct {
+	// Peer is the sender's rank.
+	Peer int
+	// Class distinguishes tensor streams (weights vs step inputs).
+	Class int
+	// Index is the tensor's index within its class.
+	Index int
+	// Data is the received tensor (freshly allocated per message).
+	Data *tensor.Matrix
+}
+
+// Stats is a snapshot of a TCP transport's traffic counters.
+type Stats struct {
+	// BytesSent counts header+payload bytes written to peers.
+	BytesSent int64
+	// BytesRecv counts header+payload bytes read from peers.
+	BytesRecv int64
+	// FramesSent counts frames written.
+	FramesSent int64
+	// FramesRecv counts frames read.
+	FramesRecv int64
+}
+
+// TCP is the socket Transport: one multiplexed connection per peer process,
+// length-prefixed binary frames (see frame.go), a buffered writer pump and a
+// demultiplexing reader pump per connection. Edges and collective groups
+// are registered demux keys; frames arriving before the local endpoint has
+// opened the matching edge are held at the head of the stream until it does
+// (steps are coordinator-gated, so this only happens transiently while
+// peers rebuild geometry). Beyond Transport it carries the coordinator
+// protocol's control plane: HELLO rank exchange, opaque control payloads
+// and out-of-band tensors.
+//
+// A TCP transport fails stop: the first connection error closes the whole
+// transport and every blocked operation returns ErrClosed.
+type TCP struct {
+	rank int
+	ln   net.Listener
+
+	mu       sync.Mutex
+	conns    map[int]*tcpConn
+	connWait chan struct{} // closed and remade on each registration
+	edges    map[EdgeID]*edgeSlot
+	groups   map[int]*groupSlot
+	err      error
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	ctrl chan CtrlMsg
+	tens chan TensorMsg
+
+	bytesSent, bytesRecv   atomic.Int64
+	framesSent, framesRecv atomic.Int64
+
+	wg sync.WaitGroup // accept loop + connection pumps
+}
+
+// NewTCP returns a dial-only transport (the coordinator's side).
+func NewTCP() *TCP { return newTCP() }
+
+func newTCP() *TCP {
+	return &TCP{
+		rank:     -1,
+		conns:    make(map[int]*tcpConn),
+		connWait: make(chan struct{}),
+		edges:    make(map[EdgeID]*edgeSlot),
+		groups:   make(map[int]*groupSlot),
+		closed:   make(chan struct{}),
+		ctrl:     make(chan CtrlMsg, 64),
+		tens:     make(chan TensorMsg, 256),
+	}
+}
+
+// ListenTCP returns a transport accepting peer connections on addr
+// (host:port, port 0 picks a free one).
+func ListenTCP(addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := newTCP()
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// SetRank fixes this transport's rank, announced in the HELLO frame of every
+// outbound connection. It must be called before Dial.
+func (t *TCP) SetRank(r int) { t.rank = r }
+
+// Rank returns the transport's rank (-1 until SetRank).
+func (t *TCP) Rank() int { return t.rank }
+
+// Addr returns the listen address, or "" for dial-only transports.
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (t *TCP) Stats() Stats {
+	return Stats{
+		BytesSent:  t.bytesSent.Load(),
+		BytesRecv:  t.bytesRecv.Load(),
+		FramesSent: t.framesSent.Load(),
+		FramesRecv: t.framesRecv.Load(),
+	}
+}
+
+// Ctrl returns the merged control-plane inbox.
+func (t *TCP) Ctrl() <-chan CtrlMsg { return t.ctrl }
+
+// Tensors returns the merged out-of-band tensor inbox.
+func (t *TCP) Tensors() <-chan TensorMsg { return t.tens }
+
+// Dial connects to the peer rank at addr, sends the HELLO frame and starts
+// the connection's pumps.
+func (t *TCP) Dial(ctx context.Context, peer int, addr string) error {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	c := &tcpConn{t: t, peer: peer, nc: nc, out: make(chan outFrame, 128)}
+	if err := t.register(c); err != nil {
+		nc.Close()
+		return err
+	}
+	// HELLO is the connection's first frame; enqueueing it before the writer
+	// pump starts guarantees it precedes any edge or control traffic.
+	c.out <- outFrame{h: Header{Type: FrameHello, A: int32(t.rank)}}
+	c.start()
+	return nil
+}
+
+// DialRetry is Dial retried every 200ms until ctx expires, for concurrent
+// mesh bring-up: a peer's listener may not be up yet when this process
+// starts, so connection-refused is a wait, not a failure. Returns the last
+// dial error when ctx runs out.
+func (t *TCP) DialRetry(ctx context.Context, peer int, addr string) error {
+	for {
+		err := t.Dial(ctx, peer, addr)
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// acceptLoop accepts inbound peer connections; each must open with HELLO.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		nc, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.fail(err)
+			}
+			return
+		}
+		t.wg.Add(1)
+		go t.handshake(nc)
+	}
+}
+
+// handshake reads an inbound connection's HELLO, registers it and starts
+// its pumps.
+func (t *TCP) handshake(nc net.Conn) {
+	defer t.wg.Done()
+	fr := NewFrameReader(nc)
+	h, err := fr.ReadHeader()
+	if err != nil || h.Type != FrameHello {
+		nc.Close()
+		return
+	}
+	c := &tcpConn{t: t, peer: int(h.A), nc: nc, fr: fr, out: make(chan outFrame, 128)}
+	if err := t.register(c); err != nil {
+		nc.Close()
+		return
+	}
+	c.start()
+}
+
+// register adds a connection to the peer table and wakes WaitPeers.
+func (t *TCP) register(c *tcpConn) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if _, dup := t.conns[c.peer]; dup {
+		return fmt.Errorf("transport: duplicate connection from rank %d", c.peer)
+	}
+	t.conns[c.peer] = c
+	close(t.connWait)
+	t.connWait = make(chan struct{})
+	return nil
+}
+
+// WaitPeers blocks until a connection to every listed rank exists.
+func (t *TCP) WaitPeers(ctx context.Context, peers []int) error {
+	for {
+		t.mu.Lock()
+		missing := false
+		for _, p := range peers {
+			if _, ok := t.conns[p]; !ok {
+				missing = true
+				break
+			}
+		}
+		wait := t.connWait
+		t.mu.Unlock()
+		if !missing {
+			return nil
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.closed:
+			return t.closeErr()
+		}
+	}
+}
+
+// conn returns the registered connection to peer.
+func (t *TCP) conn(peer int) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return nil, t.err
+	}
+	c, ok := t.conns[peer]
+	if !ok {
+		return nil, fmt.Errorf("transport: no connection to rank %d", peer)
+	}
+	return c, nil
+}
+
+// enqueue hands a frame to peer's writer pump.
+func (t *TCP) enqueue(peer int, f outFrame) error {
+	c, err := t.conn(peer)
+	if err != nil {
+		return err
+	}
+	select {
+	case c.out <- f:
+		return nil
+	case <-t.closed:
+		return t.closeErr()
+	}
+}
+
+// SendControl sends an opaque control payload to peer.
+func (t *TCP) SendControl(peer int, payload []byte) error {
+	return t.enqueue(peer, outFrame{h: Header{Type: FrameControl}, payload: payload})
+}
+
+// SendTensor sends an out-of-band tensor to peer under (class, index).
+func (t *TCP) SendTensor(peer, class, index int, m *tensor.Matrix) error {
+	return t.enqueue(peer, outFrame{
+		h: Header{
+			Type: FrameTensor, A: int32(class), M: int32(index),
+			Rows: int32(m.Rows), Cols: int32(m.Cols),
+		},
+		// The matrix is serialized asynchronously by the writer pump;
+		// control-plane senders must not mutate it until the peer has acted
+		// on it (the coordinator protocol's step gating guarantees this).
+		mat: m,
+	})
+}
+
+// fail records the first transport error and tears everything down.
+func (t *TCP) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+	t.shutdown()
+}
+
+// Done returns a channel closed when the transport has shut down, by clean
+// Close or fail-stop; Err then reports why. Session layers select on it
+// alongside Ctrl/Tensors so a dead mesh never strands a protocol wait.
+func (t *TCP) Done() <-chan struct{} { return t.closed }
+
+// Err returns the failure that tore the transport down, ErrClosed after a
+// clean Close, or nil while the transport is live.
+func (t *TCP) Err() error {
+	select {
+	case <-t.closed:
+		return t.closeErr()
+	default:
+		return nil
+	}
+}
+
+// closeErr returns the recorded failure, or ErrClosed after a clean Close.
+func (t *TCP) closeErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return ErrClosed
+}
+
+// Close shuts the transport down; blocked operations return ErrClosed.
+func (t *TCP) Close() error {
+	t.shutdown()
+	t.wg.Wait()
+	return nil
+}
+
+// shutdown closes the stop latch, the listener and every connection.
+func (t *TCP) shutdown() {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		t.mu.Lock()
+		conns := make([]*tcpConn, 0, len(t.conns))
+		for _, c := range t.conns {
+			conns = append(conns, c)
+		}
+		t.mu.Unlock()
+		for _, c := range conns {
+			c.nc.Close()
+		}
+	})
+}
+
+// outFrame is one frame queued on a connection's writer pump, with exactly
+// one payload source set (mat, vec or payload; none for HELLO).
+type outFrame struct {
+	h       Header
+	mat     *tensor.Matrix
+	vec     []float64
+	payload []byte
+	free    chan *tensor.Matrix // recycle destination for mat after write
+	vfree   chan []float64      // recycle destination for vec after write
+}
+
+// tcpConn is one peer connection with its pumps.
+type tcpConn struct {
+	t    *TCP
+	peer int
+	nc   net.Conn
+	fr   *FrameReader // pre-created by handshake (it already read HELLO)
+	out  chan outFrame
+}
+
+// start launches the connection's reader and writer pumps.
+func (c *tcpConn) start() {
+	if c.fr == nil {
+		c.fr = NewFrameReader(c.nc)
+	}
+	c.t.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+}
+
+// writeLoop serializes queued frames through one buffered writer, flushing
+// whenever the queue drains — batching bursts without delaying lone frames.
+func (c *tcpConn) writeLoop() {
+	defer c.t.wg.Done()
+	fw := NewFrameWriter(c.nc)
+	for {
+		select {
+		case f := <-c.out:
+			// WriteF64/WriteBytes set N on their own header copy, so
+			// measure the payload here — before the buffer is recycled
+			// and may be resized by its next lessee.
+			var err error
+			var n int
+			switch {
+			case f.mat != nil:
+				n = 8 * len(f.mat.Data)
+				err = fw.WriteF64(f.h, f.mat.Data)
+			case f.vec != nil:
+				n = 8 * len(f.vec)
+				err = fw.WriteF64(f.h, f.vec)
+			default:
+				n = len(f.payload)
+				err = fw.WriteBytes(f.h, f.payload)
+			}
+			if f.free != nil {
+				Recycle(f.free, f.mat)
+			}
+			if f.vfree != nil {
+				select {
+				case f.vfree <- f.vec:
+				default:
+				}
+			}
+			if err != nil {
+				c.t.fail(err)
+				return
+			}
+			c.t.framesSent.Add(1)
+			c.t.bytesSent.Add(int64(HeaderSize) + int64(n))
+			if len(c.out) == 0 {
+				if err := fw.Flush(); err != nil {
+					c.t.fail(err)
+					return
+				}
+			}
+		case <-c.t.closed:
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes inbound frames to edges, groups and the control
+// and tensor inboxes.
+func (c *tcpConn) readLoop() {
+	defer c.t.wg.Done()
+	t := c.t
+	for {
+		h, err := c.fr.ReadHeader()
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.fail(fmt.Errorf("transport: read from rank %d: %w", c.peer, err))
+			}
+			return
+		}
+		t.framesRecv.Add(1)
+		t.bytesRecv.Add(int64(HeaderSize) + int64(h.N))
+		switch h.Type {
+		case FrameControl:
+			payload := make([]byte, h.N)
+			if err = c.fr.ReadBytes(payload); err == nil {
+				select {
+				case t.ctrl <- CtrlMsg{Peer: c.peer, Data: payload}:
+				case <-t.closed:
+					return
+				}
+			}
+		case FrameTensor:
+			mat := tensor.New(int(h.Rows), int(h.Cols))
+			if err = c.fr.ReadF64(mat.Data); err == nil {
+				select {
+				case t.tens <- TensorMsg{Peer: c.peer, Class: int(h.A), Index: int(h.M), Data: mat}:
+				case <-t.closed:
+					return
+				}
+			}
+		case FrameData:
+			err = t.deliverData(c.fr, h)
+		case FrameGroup:
+			err = t.deliverGroup(c.fr, h)
+		default:
+			err = fmt.Errorf("transport: unexpected frame type %d from rank %d", h.Type, c.peer)
+		}
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.fail(err)
+			}
+			return
+		}
+	}
+}
+
+// edgeSlot is the demux entry of one EdgeID: the currently open generation
+// plus the latch the reader pump waits on when a frame for a not-yet-opened
+// generation arrives.
+type edgeSlot struct {
+	st     *edgeState
+	opened chan struct{} // closed and remade on each OpenEdge
+}
+
+// edgeState is one generation of a TCP edge's receive side.
+type edgeState struct {
+	epoch uint32
+	in    chan Msg
+	free  chan *tensor.Matrix
+	dead  chan struct{} // closed when a newer generation replaces this one
+}
+
+// edgeSlotFor returns (creating if needed) the demux slot of id.
+func (t *TCP) edgeSlotFor(id EdgeID) *edgeSlot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sl, ok := t.edges[id]
+	if !ok {
+		sl = &edgeSlot{opened: make(chan struct{})}
+		t.edges[id] = sl
+	}
+	return sl
+}
+
+// OpenEdge opens generation epoch+1 of edge id toward peer. Re-opening (a
+// micro-batch geometry change) retires the previous generation: its held
+// frames are dropped and in-flight frames for the new generation are held
+// until this open. Both endpoints must open the same id once per geometry.
+func (t *TCP) OpenEdge(id EdgeID, peer, cap int) (Edge, error) {
+	sl := t.edgeSlotFor(id)
+	t.mu.Lock()
+	var epoch uint32 = 1
+	if sl.st != nil {
+		close(sl.st.dead)
+		epoch = sl.st.epoch + 1
+	}
+	sl.st = &edgeState{
+		epoch: epoch,
+		in:    make(chan Msg, cap),
+		free:  make(chan *tensor.Matrix, cap),
+		dead:  make(chan struct{}),
+	}
+	close(sl.opened)
+	sl.opened = make(chan struct{})
+	st := sl.st
+	t.mu.Unlock()
+	return &tcpEdge{t: t, peer: peer, id: id, st: st, sfree: make(chan *tensor.Matrix, cap)}, nil
+}
+
+// deliverData routes one edge frame: stale-generation frames are discarded,
+// frames for a generation not yet opened locally wait at the head of the
+// stream (backpressuring the connection until the local endpoint catches
+// up), current-generation frames are read into a recycled buffer and
+// delivered to the edge inbox.
+func (t *TCP) deliverData(fr *FrameReader, h Header) error {
+	id := EdgeID{Bound: int(h.A), Dir: Dir(h.Flags), S: int(h.B), Q: int(h.C)}
+	sl := t.edgeSlotFor(id)
+	for {
+		t.mu.Lock()
+		st := sl.st
+		wait := sl.opened
+		t.mu.Unlock()
+		if st == nil || st.epoch < h.Epoch {
+			select {
+			case <-wait:
+				continue
+			case <-t.closed:
+				return t.closeErr()
+			}
+		}
+		if st.epoch > h.Epoch {
+			return fr.Discard(h.N)
+		}
+		buf := LeaseBuf(st.free, int(h.Rows), int(h.Cols))
+		if err := fr.ReadF64(buf.Data); err != nil {
+			return err
+		}
+		select {
+		case st.in <- Msg{M: int(h.M), Data: buf, Free: st.free}:
+		case <-st.dead:
+			// The edge was re-opened while we held the message: the step it
+			// belonged to is gone; drop the buffer with it.
+		case <-t.closed:
+			return t.closeErr()
+		}
+		return nil
+	}
+}
+
+// tcpEdge is one endpoint handle of a TCP edge generation: sends enqueue
+// frames on the peer connection's writer pump; receives drain the local
+// generation's inbox.
+type tcpEdge struct {
+	t     *TCP
+	peer  int
+	id    EdgeID
+	st    *edgeState
+	sfree chan *tensor.Matrix // recycled serialization staging buffers
+}
+
+// header builds the frame header for micro-batch m of a rows x cols block.
+func (e *tcpEdge) header(m, rows, cols int) Header {
+	return Header{
+		Type: FrameData, Flags: uint8(e.id.Dir),
+		A: int32(e.id.Bound), B: int32(e.id.S), C: int32(e.id.Q),
+		Epoch: e.st.epoch, M: int32(m), Rows: int32(rows), Cols: int32(cols),
+	}
+}
+
+// send stages data into a recycled buffer and queues it for serialization;
+// the writer pump recycles the staging buffer after the frame is written.
+func (e *tcpEdge) send(m int, data *tensor.Matrix) error {
+	buf := LeaseBuf(e.sfree, data.Rows, data.Cols)
+	copy(buf.Data, data.Data)
+	return e.t.enqueue(e.peer, outFrame{h: e.header(m, data.Rows, data.Cols), mat: buf, free: e.sfree})
+}
+
+// SendView stages a copy for serialization: unlike the in-process backend
+// the sender's storage is never shared across the socket, so the zero-copy
+// view contract degenerates to a copy here.
+func (e *tcpEdge) SendView(m int, view *tensor.Matrix) error { return e.send(m, view) }
+
+// SendCopy stages a copy for serialization.
+func (e *tcpEdge) SendCopy(m int, data *tensor.Matrix) error { return e.send(m, data) }
+
+// Recv returns the next delivered block of this edge generation.
+func (e *tcpEdge) Recv(abort <-chan struct{}) (Msg, error) {
+	select {
+	case msg := <-e.st.in:
+		return msg, nil
+	case <-abort:
+		return Msg{}, ErrAborted
+	case <-e.st.dead:
+		return Msg{}, ErrClosed
+	case <-e.t.closed:
+		return Msg{}, e.t.closeErr()
+	}
+}
+
+// groupSlot is the demux entry of one collective group id.
+type groupSlot struct {
+	g      *tcpGroup
+	opened chan struct{}
+}
+
+// groupSlotFor returns (creating if needed) the demux slot of gid.
+func (t *TCP) groupSlotFor(gid int) *groupSlot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sl, ok := t.groups[gid]
+	if !ok {
+		sl = &groupSlot{opened: make(chan struct{})}
+		t.groups[gid] = sl
+	}
+	return sl
+}
+
+// OpenGroup opens collective group gid over the member ranks (which must
+// include this transport's rank) for size-element vectors. Groups are
+// geometry-independent: open once per session.
+func (t *TCP) OpenGroup(gid int, members []int, size int) (Group, error) {
+	g := &tcpGroup{t: t, id: gid, size: size, self: -1}
+	g.members = append(g.members, members...)
+	for i, r := range g.members {
+		if i > 0 && g.members[i] <= g.members[i-1] {
+			return nil, fmt.Errorf("transport: group %d members must be strictly increasing", gid)
+		}
+		if r == t.rank {
+			g.self = i
+		}
+	}
+	if g.self < 0 {
+		return nil, fmt.Errorf("transport: rank %d not a member of group %d", t.rank, gid)
+	}
+	n := len(g.members)
+	g.recv = make([][]float64, n)
+	g.full = make([]chan struct{}, n)
+	g.empty = make([]chan struct{}, n)
+	for i := range g.members {
+		if i == g.self {
+			continue
+		}
+		g.recv[i] = make([]float64, size)
+		g.full[i] = make(chan struct{}, 1)
+		g.empty[i] = make(chan struct{}, 1)
+		g.empty[i] <- struct{}{}
+	}
+	g.sum = make([]float64, size)
+	g.vfree = make(chan []float64, n)
+	sl := t.groupSlotFor(gid)
+	t.mu.Lock()
+	if sl.g != nil {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: group %d already open", gid)
+	}
+	sl.g = g
+	close(sl.opened)
+	t.mu.Unlock()
+	return g, nil
+}
+
+// deliverGroup routes one all-reduce contribution into the member's receive
+// slot. The slot token (empty/full) orders the pump's writes against the
+// consumer's reads across consecutive exchanges.
+func (t *TCP) deliverGroup(fr *FrameReader, h Header) error {
+	sl := t.groupSlotFor(int(h.A))
+	t.mu.Lock()
+	g := sl.g
+	wait := sl.opened
+	t.mu.Unlock()
+	if g == nil {
+		select {
+		case <-wait:
+			t.mu.Lock()
+			g = sl.g
+			t.mu.Unlock()
+		case <-t.closed:
+			return t.closeErr()
+		}
+	}
+	idx := -1
+	for i, r := range g.members {
+		if r == int(h.B) {
+			idx = i
+		}
+	}
+	if idx < 0 || idx == g.self {
+		return fmt.Errorf("transport: group %d contribution from non-member rank %d", g.id, h.B)
+	}
+	if int(h.N) != g.size*8 {
+		return fmt.Errorf("transport: group %d contribution of %d bytes, want %d", g.id, h.N, g.size*8)
+	}
+	select {
+	case <-g.empty[idx]:
+	case <-t.closed:
+		return t.closeErr()
+	}
+	if err := fr.ReadF64(g.recv[idx]); err != nil {
+		return err
+	}
+	select {
+	case g.full[idx] <- struct{}{}:
+	case <-t.closed:
+		return t.closeErr()
+	}
+	return nil
+}
+
+// tcpGroup is one cross-process all-reduce domain: a full contribution
+// exchange (every member sends its local vector to every other), followed
+// by a deterministic member-order summation so all ranks end bit-identical.
+// With the executor's per-worker local reduction before the exchange and
+// broadcast after it, this realizes the paper's hierarchical all-reduce:
+// the cross-server phase carries one vector per worker process, not one per
+// replica.
+type tcpGroup struct {
+	t       *TCP
+	id      int
+	members []int // strictly increasing ranks, including self
+	self    int   // index of this rank in members
+	size    int
+
+	recv  [][]float64     // per-member contribution slots (self unused)
+	full  []chan struct{} // pump -> consumer slot tokens
+	empty []chan struct{} // consumer -> pump slot tokens
+	sum   []float64       // member-order accumulation scratch
+	vfree chan []float64  // recycled send staging vectors
+}
+
+// AllReduce exchanges buf with every member and replaces it with the sum
+// over all members taken in member order — identical on every rank.
+func (g *tcpGroup) AllReduce(buf []float64, abort <-chan struct{}) error {
+	if len(buf) != g.size {
+		return fmt.Errorf("transport: group %d all-reduce of %d elements, want %d", g.id, len(buf), g.size)
+	}
+	h := Header{Type: FrameGroup, A: int32(g.id), B: int32(g.t.rank)}
+	for i, r := range g.members {
+		if i == g.self {
+			continue
+		}
+		// Stage a private copy per peer: the writer pumps serialize
+		// asynchronously, after this call may already have overwritten buf.
+		var vec []float64
+		select {
+		case vec = <-g.vfree:
+		default:
+			vec = make([]float64, g.size)
+		}
+		copy(vec, buf)
+		if err := g.t.enqueue(r, outFrame{h: h, vec: vec, vfree: g.vfree}); err != nil {
+			return err
+		}
+	}
+	for i := range g.members {
+		if i == g.self {
+			continue
+		}
+		select {
+		case <-g.full[i]:
+		case <-abort:
+			return ErrAborted
+		case <-g.t.closed:
+			return g.t.closeErr()
+		}
+	}
+	first := true
+	for i := range g.members {
+		src := buf
+		if i != g.self {
+			src = g.recv[i]
+		}
+		if first {
+			copy(g.sum, src)
+			first = false
+			continue
+		}
+		for k, v := range src {
+			g.sum[k] += v
+		}
+	}
+	copy(buf, g.sum)
+	for i := range g.members {
+		if i != g.self {
+			g.empty[i] <- struct{}{}
+		}
+	}
+	return nil
+}
