@@ -13,8 +13,12 @@
 //
 //	dapple -execute -exec-workers 127.0.0.1:7700,127.0.0.1:7701 ...
 //
-// The session is fail-stop: any error anywhere ends every process's session,
-// and the worker exits non-zero.
+// By default the session is fail-stop: any error anywhere ends every
+// process's session, and the worker exits non-zero. When the coordinator
+// runs with fault tolerance enabled, the manifest switches the worker into
+// survivable mode — peer isolation, heartbeats, and participation in the
+// coordinator's re-plan protocol. -die-at-step scripts this worker's death
+// at a given step for chaos and recovery testing.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:0", "address to accept mesh connections on")
 		peers   = flag.String("peers", "", "comma-separated addresses of workers 0..rank-1, in rank order")
 		timeout = flag.Duration("dial-timeout", 30*time.Second, "time limit for connecting the worker mesh")
+		dieAt   = flag.Int("die-at-step", -1, "fault injection: exit the moment the coordinator announces this step (negative disables)")
 	)
 	flag.Parse()
 	if *rank < 0 {
@@ -71,16 +76,15 @@ func main() {
 		}
 	}
 
-	if err := train.NewWorker(t, *rank).Serve(ctx); err != nil {
-		fatalf("dapple-worker: rank %d: %v", *rank, err)
+	w := train.NewWorker(t, *rank)
+	if *dieAt >= 0 {
+		w.SetDieAtStep(*dieAt)
 	}
-	// Hold the mesh open until the coordinator — who has every worker's
-	// shutdown ack — tears it down: a worker closing early would EOF peers
-	// that are still draining their own shutdown message.
-	select {
-	case <-t.Done():
-	case <-time.After(30 * time.Second):
-	case <-ctx.Done():
+	// Serve holds the mesh open through shutdown until the coordinator —
+	// who has every worker's ack — tears the session down, so peers still
+	// draining their own shutdown are never EOF'd early.
+	if err := w.Serve(ctx); err != nil {
+		fatalf("dapple-worker: rank %d: %v", *rank, err)
 	}
 	fmt.Printf("dapple-worker: rank %d shut down cleanly\n", *rank)
 }

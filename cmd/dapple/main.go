@@ -24,6 +24,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -70,6 +71,9 @@ func main() {
 		execWidth  = flag.Int("exec-width", 64, "hidden width of the -execute MLP")
 		execIters  = flag.Int("exec-iters", 5, "training iterations to really execute")
 		execWkrs   = flag.String("exec-workers", "", "with -execute: run as the coordinator of a multi-process session over these comma-separated dapple-worker addresses (rank order)")
+		heartbeat  = flag.Duration("heartbeat", 500*time.Millisecond, "with -exec-workers: liveness heartbeat interval; silent ranks are declared dead after 10 intervals (0 disables)")
+		ckptDir    = flag.String("checkpoint-dir", "", "with -exec-workers: persist consistent snapshots here and resume from the latest on start")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "with -exec-workers and -checkpoint-dir: snapshot every N steps")
 		measured   = flag.Bool("measured-profile", false, "with -execute: calibrate per-layer times by measuring warm real execution instead of the analytic FLOP model")
 		measIters  = flag.Int("measure-iters", 5, "with -measured-profile: recorded calibration iterations aggregated per layer")
 	)
@@ -231,7 +235,34 @@ func main() {
 
 	if *execute {
 		if *execWkrs != "" {
-			runPlanDistributed(ctx, master, plan, pol, rc, *execIters, *seed, strings.Split(*execWkrs, ","))
+			// Survivor re-plan: a fresh engine on the shrunk cluster (the
+			// surviving workers' servers) re-runs the same strategy. The
+			// planner derives the micro-batch size from model and GBS alone,
+			// so a same-GBS re-plan keeps the data feed's shape.
+			replan := func(alive []int) (*dapple.Plan, []int, error) {
+				c2 := c
+				c2.Servers = len(alive)
+				eng2, err := dapple.NewEngine(dapple.WithCluster(c2), dapple.WithStrategy(*strategy))
+				if err != nil {
+					return nil, nil, err
+				}
+				pr, err := eng2.PlanWith(ctx, m, planFlags.Apply(dapple.PlanOptions{GBS: plan.GBS}))
+				if err != nil {
+					return nil, nil, err
+				}
+				if pr.Plan.MicroBatch != plan.MicroBatch || pr.Plan.GBS != plan.GBS {
+					return nil, nil, fmt.Errorf("re-plan changed the batch geometry (%d/%d vs %d/%d)",
+						pr.Plan.GBS, pr.Plan.MicroBatch, plan.GBS, plan.MicroBatch)
+				}
+				dr := make([]int, pr.Plan.Cluster.NumDevices())
+				for d := range dr {
+					dr[d] = alive[pr.Plan.Cluster.Server(dapple.DeviceID(d))%len(alive)]
+				}
+				fmt.Printf("recover: re-planned onto %d surviving workers: %v\n", len(alive), pr.Plan)
+				return pr.Plan, dr, nil
+			}
+			ft := faultTolerance{heartbeat: *heartbeat, ckptDir: *ckptDir, ckptEvery: *ckptEvery, replan: replan}
+			runPlanDistributed(ctx, master, plan, pol, rc, *execIters, *seed, strings.Split(*execWkrs, ","), ft)
 		} else {
 			runPlan(ctx, master, plan, res, pol, rc, *execIters, *seed, *gantt)
 		}
@@ -294,6 +325,15 @@ func runPlan(ctx context.Context, master *dapple.Network, plan *dapple.Plan, sim
 	}
 }
 
+// faultTolerance carries the session's fault-tolerance configuration from
+// the flag layer into the distributed drive loop.
+type faultTolerance struct {
+	heartbeat time.Duration
+	ckptDir   string
+	ckptEvery int
+	replan    dapple.ReplanFunc
+}
+
 // runPlanDistributed executes the plan as a multi-process session: this
 // process becomes the coordinator of the dapple-worker processes at addrs,
 // shards the plan's devices across them (device d goes to worker
@@ -303,8 +343,14 @@ func runPlan(ctx context.Context, master *dapple.Network, plan *dapple.Plan, sim
 // Cross-process loss is compared at 1e-6 (collectives sum in a different
 // order than the in-process ring, so bit-identity with the 1e-9 in-process
 // bar is not expected).
+//
+// The session is survivable: a worker dying mid-run triggers a re-plan onto
+// the survivors, a restore of the last consistent snapshot, and a rewind of
+// the data feed — the drift gate still holds for every completed iteration.
+// With -checkpoint-dir the session also resumes from the newest on-disk
+// checkpoint, skipping the iterations it already completed.
 func runPlanDistributed(ctx context.Context, master *dapple.Network, plan *dapple.Plan,
-	pol dapple.SchedulePolicy, rc bool, iters int, seed int64, addrs []string) {
+	pol dapple.SchedulePolicy, rc bool, iters int, seed int64, addrs []string, ft faultTolerance) {
 	workers := len(addrs)
 	deviceRanks := make([]int, plan.Cluster.NumDevices())
 	for d := range deviceRanks {
@@ -333,34 +379,88 @@ func runPlanDistributed(ctx context.Context, master *dapple.Network, plan *dappl
 		fatalf("connect workers: %v", err)
 	}
 
+	// The sequential reference must start from the pre-restore weights:
+	// NewCoordinator overwrites master from the checkpoint directory when
+	// one is configured, and the reference fast-forwards through the
+	// already-completed iterations instead.
+	seq := master.Clone()
+	seqOpt := nn.NewAdam(2e-3)
+
+	opts := []train.SessionOption{
+		train.WithReplan(ft.replan),
+		train.WithStepTimeout(2 * time.Minute),
+	}
+	if ft.heartbeat > 0 {
+		opts = append(opts, train.WithHeartbeat(ft.heartbeat, 10*ft.heartbeat))
+	}
+	if ft.ckptDir != "" {
+		opts = append(opts, train.WithCheckpoint(ft.ckptDir, ft.ckptEvery))
+	}
 	coord, err := train.NewCoordinator(ctx, t, plan, master, train.OptSpec{Kind: "adam", LR: 2e-3},
-		train.ExecOptions{Policy: pol, Recompute: rc}, deviceRanks, workers)
+		train.ExecOptions{Policy: pol, Recompute: rc}, deviceRanks, workers, opts...)
 	if err != nil {
 		fatalf("session handshake: %v", err)
 	}
-	seq := master.Clone()
-	seqOpt := nn.NewAdam(2e-3)
+
+	// The data feed is deterministic from the seed and pre-generated, so a
+	// recovery (or a restart from a checkpoint) can rewind or fast-forward
+	// to any iteration.
 	rng := rand.New(rand.NewSource(seed + 1))
 	proj := train.NewQuadrantProblem(rng, execInDim)
-	for it := 1; it <= iters; it++ {
-		micros := train.QuadrantBatches(rng, proj, plan.M(), plan.MicroBatch)
-		start := time.Now()
-		loss, err := coord.Step(ctx, micros)
-		if err != nil {
-			fatalf("distributed iteration %d: %v", it, err)
-		}
-		seqLoss, err := train.SequentialStep(seq, micros, seqOpt)
-		if err != nil {
-			fatalf("sequential reference: %v", err)
-		}
-		drift := math.Abs(loss - seqLoss)
-		fmt.Printf("  iter %2d  loss %.4f  (sequential %.4f, drift %.1e, wall %s)\n",
-			it, loss, seqLoss, drift, stats.Seconds(time.Since(start).Seconds()))
-		if drift > 1e-6 {
-			fatalf("distributed loss diverged at iteration %d (drift %g)", it, drift)
+	batches := make([][]train.Batch, iters)
+	for it := range batches {
+		batches[it] = train.QuadrantBatches(rng, proj, plan.M(), plan.MicroBatch)
+	}
+	resume := coord.CompletedSteps()
+	if resume > 0 {
+		fmt.Printf("execute: resuming from checkpoint at step %d\n", resume)
+		if resume > iters {
+			fatalf("checkpoint is at step %d, beyond -exec-iters %d", resume, iters)
 		}
 	}
+	want := make([]float64, iters) // sequential reference losses, filled in step order
+	for it := 0; it < resume; it++ {
+		if want[it], err = train.SequentialStep(seq, batches[it], seqOpt); err != nil {
+			fatalf("sequential reference: %v", err)
+		}
+	}
+	seqDone := resume
+	recoveries := 0
+	for it := resume; it < iters; {
+		start := time.Now()
+		loss, err := coord.Step(ctx, batches[it])
+		if err != nil {
+			var rec *train.Recovered
+			if errors.As(err, &rec) {
+				recoveries++
+				if recoveries > workers {
+					fatalf("session recovered %d times for %d workers; giving up", recoveries, workers)
+				}
+				fmt.Printf("recover: lost ranks %v at iteration %d; rewound to iteration %d\n",
+					rec.Lost, it+1, rec.Resume+1)
+				it = rec.Resume
+				continue
+			}
+			fatalf("distributed iteration %d: %v", it+1, err)
+		}
+		if it == seqDone {
+			if want[it], err = train.SequentialStep(seq, batches[it], seqOpt); err != nil {
+				fatalf("sequential reference: %v", err)
+			}
+			seqDone++
+		}
+		drift := math.Abs(loss - want[it])
+		fmt.Printf("  iter %2d  loss %.4f  (sequential %.4f, drift %.1e, wall %s)\n",
+			it+1, loss, want[it], drift, stats.Seconds(time.Since(start).Seconds()))
+		if drift > 1e-6 {
+			fatalf("distributed loss diverged at iteration %d (drift %g)", it+1, drift)
+		}
+		it++
+	}
 	st := t.Stats()
+	if recoveries > 0 {
+		fmt.Printf("execute: survived %d worker failure(s); all completed iterations match sequential within 1e-6\n", recoveries)
+	}
 	fmt.Printf("execute: distributed losses match sequential within 1e-6; coordinator moved %s out / %s in\n",
 		stats.Bytes(st.BytesSent), stats.Bytes(st.BytesRecv))
 	if err := coord.Close(); err != nil {

@@ -53,6 +53,57 @@ func TestMultiProcessLoopbackSmoke(t *testing.T) {
 	}
 }
 
+// TestMultiProcessChaosRecoverySmoke is the fault-tolerance end-to-end gate:
+// three worker processes train a pipeline, one of them is scripted (via
+// -die-at-step) to kill itself in the middle of iteration 3, and the
+// coordinator must detect the death, re-plan onto the two survivors, restore
+// the latest on-disk checkpoint, rewind and finish — with every completed
+// iteration's loss still within 1e-6 of the uninterrupted sequential
+// reference (the binary exits non-zero past that drift).
+func TestMultiProcessChaosRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dapple")
+	wbin := filepath.Join(dir, "dapple-worker")
+	for path, pkg := range map[string]string{bin: "dapple/cmd/dapple", wbin: "dapple/cmd/dapple-worker"} {
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	addr0 := startWorker(t, wbin, 0)
+	addr1 := startWorker(t, wbin, 1, "-peers", addr0, "-die-at-step", "2")
+	addr2 := startWorker(t, wbin, 2, "-peers", addr0+","+addr1)
+
+	coord := exec.Command(bin,
+		"-execute", "-config", "B", "-servers", "3", "-gbs", "64",
+		"-exec-iters", "4", "-exec-workers", addr0+","+addr1+","+addr2,
+		"-heartbeat", "100ms",
+		"-checkpoint-dir", filepath.Join(dir, "ckpt"), "-checkpoint-every", "1")
+	out, err := coord.CombinedOutput()
+	if err != nil {
+		t.Fatalf("coordinator failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "recover: lost ranks [1]") {
+		t.Errorf("coordinator never recovered from the scripted death:\n%s", text)
+	}
+	for it := 1; it <= 4; it++ {
+		if !strings.Contains(text, fmt.Sprintf("iter  %d", it)) {
+			t.Errorf("coordinator output missing iteration %d:\n%s", it, text)
+		}
+	}
+	if !strings.Contains(text, "survived 1 worker failure(s)") {
+		t.Errorf("coordinator did not report the survived failure:\n%s", text)
+	}
+	if !strings.Contains(text, "distributed losses match sequential within 1e-6") {
+		t.Errorf("coordinator did not report loss equivalence:\n%s", text)
+	}
+}
+
 // startWorker launches one dapple-worker process and returns the address it
 // reports listening on. The process is killed (and its exit checked) at test
 // cleanup.

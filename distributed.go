@@ -13,6 +13,9 @@ import (
 // hierarchical (intra-server reduce, cross-server exchange, intra-server
 // broadcast) whenever a replica group spans servers.
 type (
+	// Transport is the abstract data plane an Executor opens edges and
+	// collective groups on; TCPTransport and ChaosTransport implement it.
+	Transport = transport.Transport
 	// TCPTransport is one mesh endpoint: framed tensor edges plus collective
 	// groups over length-prefixed TCP connections to every peer rank.
 	TCPTransport = transport.TCP
@@ -28,7 +31,56 @@ type (
 	// OptSpec names an optimizer portably so the coordinator's manifest can
 	// tell every worker how to build identical optimizer state.
 	OptSpec = train.OptSpec
+	// SessionOption configures a Coordinator's fault-tolerance machinery:
+	// WithHeartbeat, WithStepTimeout, WithShutdownTimeout, WithCheckpoint
+	// and WithReplan.
+	SessionOption = train.SessionOption
+	// ReplanFunc produces a plan for the surviving worker ranks after a
+	// failure, plus the new device→rank placement.
+	ReplanFunc = train.ReplanFunc
+	// Recovered is the error a survivable session's Step returns after a
+	// successful recovery: rewind the data feed to Resume and keep going.
+	Recovered = train.Recovered
+	// Checkpoint is one consistent snapshot of a session's training state:
+	// weights plus optimizer state, tagged with its step count.
+	Checkpoint = train.Checkpoint
+	// ChaosTransport wraps a Transport with deterministic, seeded fault
+	// injection (dropped/duplicated/delayed frames, frozen edges, torn
+	// connections) for fault-tolerance testing.
+	ChaosTransport = transport.Chaos
+	// ChaosConfig scripts a ChaosTransport's fault schedule.
+	ChaosConfig = transport.ChaosConfig
 )
+
+// Session fault-tolerance options, re-exported from the train package.
+var (
+	// WithHeartbeat enables the session's liveness plane: heartbeats every
+	// interval, and ranks silent past timeout are declared dead.
+	WithHeartbeat = train.WithHeartbeat
+	// WithStepTimeout bounds each step's report barrier.
+	WithStepTimeout = train.WithStepTimeout
+	// WithShutdownTimeout bounds Close's shutdown-ack barrier.
+	WithShutdownTimeout = train.WithShutdownTimeout
+	// WithCheckpoint persists consistent snapshots and restores the latest
+	// one at session start and during recovery.
+	WithCheckpoint = train.WithCheckpoint
+	// WithReplan makes the session survive worker death by re-planning
+	// onto the survivors.
+	WithReplan = train.WithReplan
+)
+
+// NewChaosTransport wraps inner with the scripted fault schedule; the same
+// seed always yields the same per-edge schedule.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
+	return transport.NewChaos(inner, cfg)
+}
+
+// ReadCheckpoint reads and validates the checkpoint file at path.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return train.ReadCheckpoint(path) }
+
+// LatestCheckpoint loads the newest valid checkpoint in dir (nil, "", nil
+// when none exists).
+func LatestCheckpoint(dir string) (*Checkpoint, string, error) { return train.LatestCheckpoint(dir) }
 
 // ListenTCP returns a worker-side mesh endpoint accepting connections on
 // addr (use port 0 for an ephemeral port; Addr reports the resolved one).
@@ -45,8 +97,10 @@ func NewTCPTransport() *TCPTransport { return transport.NewTCP() }
 // Coordinator whose Step drives lock-step training iterations. deviceRanks
 // maps each of the plan's devices to the worker rank hosting it; workers is
 // the mesh size excluding the coordinator (which must be rank workers).
-func NewCoordinator(ctx context.Context, t *TCPTransport, p *Plan, master *Network, opt OptSpec, eo ExecOptions, deviceRanks []int, workers int) (*Coordinator, error) {
-	return train.NewCoordinator(ctx, t, p, master, opt, eo, deviceRanks, workers)
+// Session options (WithHeartbeat, WithCheckpoint, WithReplan, ...) opt the
+// session out of its default fail-stop semantics into fault tolerance.
+func NewCoordinator(ctx context.Context, t *TCPTransport, p *Plan, master *Network, opt OptSpec, eo ExecOptions, deviceRanks []int, workers int, opts ...SessionOption) (*Coordinator, error) {
+	return train.NewCoordinator(ctx, t, p, master, opt, eo, deviceRanks, workers, opts...)
 }
 
 // NewDistWorker wraps a connected mesh endpoint as one session worker; call

@@ -1,0 +1,183 @@
+package train
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dapple/internal/nn"
+)
+
+// ckptZoo lists one OptSpec per optimizer kind, covering the stateless and
+// both stateful update rules.
+var ckptZoo = []OptSpec{
+	{Kind: "sgd", LR: 0.05},
+	{Kind: "momentum", LR: 0.05, Beta: 0.9},
+	{Kind: "adam", LR: 0.01},
+}
+
+// ckptNetSpec is a small heterogeneous skeleton for checkpoint tests.
+var ckptNetSpec = []LayerSpec{
+	{Kind: "dense", In: 7, Out: 11},
+	{Kind: "relu"},
+	{Kind: "dense", In: 11, Out: 5},
+	{Kind: "tanh"},
+	{Kind: "dense", In: 5, Out: 3},
+}
+
+// fillGrads writes a deterministic pseudo-random gradient into every param.
+func fillGrads(params []nn.Param, rng *rand.Rand) {
+	for _, p := range params {
+		for i := range p.G.Data {
+			p.G.Data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// optSteps drives net through n optimizer steps with seeded gradients.
+func optSteps(t *testing.T, net *nn.Network, opt nn.Optimizer, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < n; s++ {
+		fillGrads(net.Params(), rng)
+		opt.Step(net.Params())
+	}
+}
+
+// TestCheckpointRoundTripBitForBit is the save→restore property test across
+// the optimizer zoo: a restored session must hold bit-identical weights AND
+// continue the exact trajectory — one more identical step on the original
+// and the restored copy lands on bit-identical weights, which is only
+// possible when the optimizer state (velocity, moments, step counter) was
+// captured exactly.
+func TestCheckpointRoundTripBitForBit(t *testing.T) {
+	for _, spec := range ckptZoo {
+		t.Run(spec.Kind, func(t *testing.T) {
+			factory, err := spec.Factory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, err := BuildNet(ckptNetSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := factory()
+			optSteps(t, net, opt, 7, 5)
+
+			ckpt := CaptureCheckpoint(5, net, opt)
+			dir := t.TempDir()
+			path, err := SaveCheckpoint(dir, ckpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := ReadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Step != 5 {
+				t.Fatalf("loaded step %d, want 5", loaded.Step)
+			}
+
+			restoredNet, err := BuildNet(ckptNetSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restoredOpt := factory()
+			if err := loaded.Restore(restoredNet, restoredOpt); err != nil {
+				t.Fatal(err)
+			}
+			a, b := net.Params(), restoredNet.Params()
+			for i := range a {
+				for j := range a[i].W.Data {
+					if a[i].W.Data[j] != b[i].W.Data[j] {
+						t.Fatalf("param %d element %d differs after restore: %v vs %v",
+							i, j, a[i].W.Data[j], b[i].W.Data[j])
+					}
+				}
+			}
+
+			// The decisive half: identical future steps.
+			optSteps(t, net, opt, 99, 3)
+			optSteps(t, restoredNet, restoredOpt, 99, 3)
+			for i := range a {
+				for j := range a[i].W.Data {
+					if a[i].W.Data[j] != b[i].W.Data[j] {
+						t.Fatalf("%s: trajectories diverged at param %d element %d: %v vs %v — optimizer state not round-tripped",
+							spec.Kind, i, j, a[i].W.Data[j], b[i].W.Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRejectsCorruption flips every byte position of an encoded
+// checkpoint in turn and requires each corruption to be rejected; short
+// writes (every truncation length) must be rejected too.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	net, err := BuildNet([]LayerSpec{{Kind: "dense", In: 3, Out: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewAdam(0.01)
+	optSteps(t, net, opt, 3, 2)
+	buf := EncodeCheckpoint(CaptureCheckpoint(2, net, opt))
+	if _, err := DecodeCheckpoint(buf); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	for pos := 0; pos < len(buf); pos++ {
+		bad := append([]byte(nil), buf...)
+		bad[pos] ^= 0x40
+		if _, err := DecodeCheckpoint(bad); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", pos)
+		}
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, err := DecodeCheckpoint(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestLatestCheckpointSkipsTorn writes three checkpoints, corrupts the
+// newest on disk, and checks LatestCheckpoint falls back to the newest valid
+// one — the crash-mid-write recovery path.
+func TestLatestCheckpointSkipsTorn(t *testing.T) {
+	dir := t.TempDir()
+	net, err := BuildNet([]LayerSpec{{Kind: "dense", In: 2, Out: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewMomentum(0.1, 0.9)
+	var last string
+	for step := 1; step <= 3; step++ {
+		optSteps(t, net, opt, int64(step), 1)
+		if last, err = SaveCheckpoint(dir, CaptureCheckpoint(step, net, opt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the newest file short.
+	buf, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, path, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil || c.Step != 2 {
+		t.Fatalf("latest usable checkpoint step = %v, want 2", c)
+	}
+	if filepath.Base(path) != ckptName(2) {
+		t.Fatalf("latest usable checkpoint path = %s", path)
+	}
+
+	// An empty or missing directory is a clean no-checkpoint start.
+	if c, _, err := LatestCheckpoint(filepath.Join(dir, "missing")); err != nil || c != nil {
+		t.Fatalf("missing dir: (%v, %v), want (nil, nil)", c, err)
+	}
+}

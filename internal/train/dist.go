@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"dapple/internal/core"
@@ -17,16 +18,23 @@ import (
 )
 
 // The distributed session protocol: a coordinator process (mesh rank W for W
-// workers) drives worker processes (ranks 0..W-1) through a fail-stop
-// lockstep. Control messages are JSON envelopes on the transport's control
-// plane; bulk data (initial weights, per-step micro-batches) travels as
-// out-of-band tensor frames on the same connections, so per-peer FIFO order
-// makes every wait deterministic. The handshake is manifest → weight
-// broadcast → weights-done → ready; each step is step → micro-batch tensors
-// → step-done, and the coordinator gates step k+1 on every worker's step-k
-// report. Any failure anywhere — a worker error, a torn connection, a
-// coordinator abort — ends the session: there is no rejoin, which is what
-// keeps torn cross-process weight updates impossible.
+// workers) drives worker processes (ranks 0..W-1) through a lockstep.
+// Control messages are JSON envelopes on the transport's control plane; bulk
+// data (initial weights, optimizer state, per-step micro-batches, snapshot
+// gathers) travels as out-of-band tensor frames on the same connections, so
+// per-peer FIFO order makes every wait deterministic. The handshake is
+// manifest → weight and optimizer-state broadcast → weights-done → ready;
+// each step is step → micro-batch tensors → step-done, and the coordinator
+// gates step k+1 on every worker's step-k report.
+//
+// Failure semantics are configurable. By default the session is fail-stop:
+// any failure anywhere ends it everywhere, and no torn cross-process update
+// can exist because updates commit only at step boundaries. With WithReplan
+// the session instead survives worker death: heartbeats (WithHeartbeat)
+// detect dead or hung ranks, the coordinator retires the torn generation
+// (transport epoch floor), re-plans onto the survivors, restores the last
+// consistent snapshot and re-runs the handshake — the failed Step returns
+// *Recovered telling the driver where to rewind its data feed.
 const (
 	ctrlManifest    = "manifest"
 	ctrlWeightsDone = "weights-done"
@@ -36,13 +44,20 @@ const (
 	ctrlAbort       = "abort"
 	ctrlShutdown    = "shutdown"
 	ctrlShutdownAck = "shutdown-ack"
+	ctrlSnapshot    = "snapshot"
+	ctrlSnapAck     = "snap-ack"
+	ctrlReconfig    = "reconfig"
 )
 
 // Tensor classes multiplexed on the session mesh's out-of-band tensor plane.
 const (
-	tensWeight = 1 // initial weight broadcast, Index = position in Params()
+	tensWeight = 1 // weight broadcast, Index = position in Params()
 	tensX      = 2 // one micro-batch's input rows, Index = micro-batch id
 	tensY      = 3 // one micro-batch's labels as a rows×1 matrix
+	tensOptS   = 4 // optimizer-state broadcast, Index = slot*nparams + param
+	tensSnapW  = 5 // snapshot gather: weights toward the coordinator
+	tensSnapS  = 6 // snapshot gather: optimizer state toward the coordinator
+	tensFlush  = 7 // recovery flush marker: everything before it is stale
 )
 
 // LayerSpec describes one nn layer structurally, enough for a worker to
@@ -80,6 +95,18 @@ func (o OptSpec) Factory() (func() nn.Optimizer, error) {
 	}
 }
 
+// Slots returns how many per-parameter state vectors the named optimizer
+// keeps — the number of tensOptS/tensSnapS streams per parameter.
+func (o OptSpec) Slots() int {
+	switch o.Kind {
+	case "momentum":
+		return 1
+	case "adam":
+		return 2
+	}
+	return 0
+}
+
 // stageSpec is one plan stage in wire form.
 type stageSpec struct {
 	Lo      int   `json:"lo"`
@@ -107,8 +134,35 @@ type Manifest struct {
 	Opt OptSpec     `json:"opt"`
 	// DeviceRanks maps every cluster device to its hosting worker rank.
 	DeviceRanks []int `json:"deviceRanks"`
-	// Workers is the worker count; the coordinator is mesh rank Workers.
+	// Workers is the initial worker count; the coordinator is mesh rank
+	// Workers for the session's whole life, across recoveries.
 	Workers int `json:"workers"`
+	// Ranks lists the worker ranks participating in this session
+	// generation (shrinks after a recovery). Empty means 0..Workers-1.
+	Ranks []int `json:"ranks,omitempty"`
+	// Survivable marks a fault-tolerant session: every rank enables peer
+	// isolation so one rank's death downs a peer, not the mesh.
+	Survivable bool `json:"survivable,omitempty"`
+	// Heartbeat and HeartbeatTimeout configure each rank's liveness plane
+	// (nanoseconds; zero disables).
+	Heartbeat        time.Duration `json:"heartbeat,omitempty"`
+	HeartbeatTimeout time.Duration `json:"heartbeatTimeout,omitempty"`
+	// Epoch is the transport epoch floor of this session generation
+	// (nonzero only in recovery manifests); workers Retire to it before
+	// rebuilding their executors.
+	Epoch uint32 `json:"epoch,omitempty"`
+}
+
+// ranks returns the participating worker ranks.
+func (m *Manifest) ranks() []int {
+	if len(m.Ranks) > 0 {
+		return m.Ranks
+	}
+	rs := make([]int, m.Workers)
+	for i := range rs {
+		rs[i] = i
+	}
+	return rs
 }
 
 // envelope is the one wire shape of every control message; Kind selects
@@ -120,6 +174,13 @@ type envelope struct {
 	Loss     float64   `json:"loss,omitempty"`
 	Err      string    `json:"err,omitempty"`
 	Manifest *Manifest `json:"manifest,omitempty"`
+	// Down carries death evidence on an abort: the ranks the sender saw go
+	// down. The coordinator treats abort-with-Down as a recovery trigger
+	// rather than a fail-stop.
+	Down []int `json:"downRanks,omitempty"`
+	// OptStep rides on weights-done and snap-ack: the optimizer's update
+	// counter belonging to the broadcast or gathered state.
+	OptStep int `json:"optStep,omitempty"`
 }
 
 // NetSpec extracts the structural skeleton of a network for the manifest.
@@ -173,29 +234,41 @@ func sendEnvelope(t *transport.TCP, peer int, env envelope) error {
 }
 
 // recvEnvelope blocks for the next control message, decoding it; it fails
-// when the transport dies or ctx ends, so protocol waits are never stranded.
-func recvEnvelope(ctx context.Context, t *transport.TCP) (int, envelope, error) {
-	select {
-	case cm := <-t.Ctrl():
-		var env envelope
-		if err := json.Unmarshal(cm.Data, &env); err != nil {
-			return cm.Peer, envelope{}, fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
+// when the transport dies, ctx ends, or any of the watched ranks goes down,
+// so protocol waits are never stranded by a dead peer.
+func recvEnvelope(ctx context.Context, t *transport.TCP, watch ...int) (int, envelope, error) {
+	for {
+		downs, dwait := t.PeerDowns()
+		for _, d := range downs {
+			for _, w := range watch {
+				if d == w {
+					return -1, envelope{}, fmt.Errorf("train: rank %d down: %w", d, t.DownErr(d))
+				}
+			}
 		}
-		return cm.Peer, env, nil
-	case <-t.Done():
-		// Drain messages demuxed before the transport died: a shutdown
-		// that raced a peer's teardown must still be seen as a shutdown.
 		select {
 		case cm := <-t.Ctrl():
 			var env envelope
-			if err := json.Unmarshal(cm.Data, &env); err == nil {
-				return cm.Peer, env, nil
+			if err := json.Unmarshal(cm.Data, &env); err != nil {
+				return cm.Peer, envelope{}, fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
 			}
-		default:
+			return cm.Peer, env, nil
+		case <-dwait:
+		case <-t.Done():
+			// Drain messages demuxed before the transport died: a shutdown
+			// that raced a peer's teardown must still be seen as a shutdown.
+			select {
+			case cm := <-t.Ctrl():
+				var env envelope
+				if err := json.Unmarshal(cm.Data, &env); err == nil {
+					return cm.Peer, env, nil
+				}
+			default:
+			}
+			return -1, envelope{}, t.Err()
+		case <-ctx.Done():
+			return -1, envelope{}, ctx.Err()
 		}
-		return -1, envelope{}, t.Err()
-	case <-ctx.Done():
-		return -1, envelope{}, ctx.Err()
 	}
 }
 
@@ -211,26 +284,117 @@ func recvTensor(ctx context.Context, t *transport.TCP) (transport.TensorMsg, err
 	}
 }
 
+// sessionConfig is the resolved set of session options.
+type sessionConfig struct {
+	hbInterval      time.Duration
+	hbTimeout       time.Duration
+	stepTimeout     time.Duration
+	shutdownTimeout time.Duration
+	ckptDir         string
+	ckptEvery       int
+	replan          ReplanFunc
+}
+
+// ReplanFunc produces a new plan for the surviving worker ranks after a
+// failure: alive lists the live ranks ascending; the returned device-rank
+// map must place every device of the new plan's cluster onto one of them.
+// DAPPLE makes this cheap — a fresh plan for the shrunk device set is one
+// Engine.Plan call.
+type ReplanFunc func(alive []int) (*core.Plan, []int, error)
+
+// SessionOption configures a Coordinator beyond the required arguments.
+type SessionOption func(*sessionConfig)
+
+// WithHeartbeat enables the liveness plane on every rank: heartbeats every
+// interval, and a rank heard from more than timeout ago is declared dead.
+// The timeout must comfortably exceed the interval (10x is a sane start) so
+// slow-but-alive ranks are never falsely declared dead.
+func WithHeartbeat(interval, timeout time.Duration) SessionOption {
+	return func(c *sessionConfig) { c.hbInterval, c.hbTimeout = interval, timeout }
+}
+
+// WithStepTimeout bounds each step's report barrier: ranks that have not
+// reported when it expires are declared dead. This catches ranks that are
+// hung but still heartbeating (a frozen edge, a deadlocked stage). Zero
+// disables.
+func WithStepTimeout(d time.Duration) SessionOption {
+	return func(c *sessionConfig) { c.stepTimeout = d }
+}
+
+// WithShutdownTimeout bounds Close's shutdown-ack barrier, so a hung worker
+// cannot block a clean shutdown forever. The default is 10s.
+func WithShutdownTimeout(d time.Duration) SessionOption {
+	return func(c *sessionConfig) { c.shutdownTimeout = d }
+}
+
+// WithCheckpoint persists consistent snapshots under dir every `every`
+// steps, and restores the latest valid checkpoint at session start and
+// during recovery. Snapshots are gathered from the workers at step
+// boundaries, so they are always torn-update-free.
+func WithCheckpoint(dir string, every int) SessionOption {
+	return func(c *sessionConfig) { c.ckptDir, c.ckptEvery = dir, every }
+}
+
+// WithReplan makes the session survive worker death: on a detected failure
+// the coordinator re-plans onto the surviving ranks with fn, restores the
+// last snapshot, and resumes. Without this option the session is fail-stop.
+func WithReplan(fn ReplanFunc) SessionOption {
+	return func(c *sessionConfig) { c.replan = fn }
+}
+
+// Recovered is the error a Step that triggered a successful recovery
+// returns: the failed step did not complete, training state was rewound to
+// the last consistent snapshot, and the session now runs on the surviving
+// ranks. The caller rewinds its data feed to step Resume and continues.
+type Recovered struct {
+	// Resume is the next step index to run (the restored snapshot's step).
+	Resume int
+	// Lost lists the ranks removed from the session, ascending.
+	Lost []int
+	// Cause is the failure that triggered the recovery.
+	Cause error
+}
+
+// Error implements error.
+func (r *Recovered) Error() string {
+	return fmt.Sprintf("train: session recovered from %v (lost ranks %v); resume at step %d", r.Cause, r.Lost, r.Resume)
+}
+
 // Coordinator drives a multi-process training session from the non-worker
-// side: it owns no devices, ships the manifest, the initial weights and each
-// step's micro-batches to every worker, and gates each step on all workers'
-// reports. The session is fail-stop: the first error anywhere ends it.
+// side: it owns no devices, ships the manifest, the weights and optimizer
+// state, and each step's micro-batches to every worker, and gates each step
+// on all workers' reports. With WithReplan it heals the session around dead
+// workers; otherwise the first error anywhere ends it.
 type Coordinator struct {
-	t       *transport.TCP
-	workers int
-	step    int
-	failed  error
+	t      *transport.TCP
+	cfg    sessionConfig
+	plan   *core.Plan
+	master *nn.Network
+	opt    OptSpec
+	eo     ExecOptions
+
+	coord       int   // the coordinator's mesh rank, constant across recoveries
+	alive       []int // live worker ranks, ascending
+	deviceRanks []int
+	gen         int // session generation, bumped per recovery
+	step        int
+	snapEvery   int
+	ckpt        *Checkpoint
+	hb          *heartbeater
+	failed      error
 }
 
 // NewCoordinator performs the session handshake over an already-connected
 // mesh (t must be dialed to worker ranks 0..workers-1 with rank workers):
-// manifest to every worker, master weight broadcast in Params() order,
-// weights-done, then a ready barrier. On return every worker holds an
-// executor with identical weights and the session is ready to Step.
-func NewCoordinator(ctx context.Context, t *transport.TCP, p *core.Plan, master *nn.Network, opt OptSpec, eo ExecOptions, deviceRanks []int, workers int) (*Coordinator, error) {
-	net, err := NetSpec(master)
-	if err != nil {
-		return nil, err
+// manifest to every worker, weight and optimizer-state broadcast in Params()
+// order, weights-done, then a ready barrier. With WithCheckpoint, the latest
+// valid checkpoint under the directory is restored first, so a restarted
+// session resumes where the previous one left off. On return every worker
+// holds an executor with identical state and the session is ready to Step.
+func NewCoordinator(ctx context.Context, t *transport.TCP, p *core.Plan, master *nn.Network, opt OptSpec, eo ExecOptions, deviceRanks []int, workers int, opts ...SessionOption) (*Coordinator, error) {
+	cfg := sessionConfig{shutdownTimeout: 10 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	if _, err := opt.Factory(); err != nil {
 		return nil, err
@@ -238,78 +402,275 @@ func NewCoordinator(ctx context.Context, t *transport.TCP, p *core.Plan, master 
 	if n := p.Cluster.NumDevices(); len(deviceRanks) < n {
 		return nil, fmt.Errorf("train: device-rank map covers %d of %d devices", len(deviceRanks), n)
 	}
-	man := &Manifest{
-		Model: *p.Model, Cluster: p.Cluster,
-		GBS: p.GBS, MicroBatch: p.MicroBatch,
-		Policy: int(eo.Policy), Recompute: eo.Recompute,
-		Net: net, Opt: opt, DeviceRanks: deviceRanks, Workers: workers,
+	c := &Coordinator{
+		t: t, cfg: cfg, plan: p, master: master, opt: opt, eo: eo,
+		coord: workers, deviceRanks: deviceRanks,
 	}
-	for _, s := range p.Stages {
+	for r := 0; r < workers; r++ {
+		c.alive = append(c.alive, r)
+	}
+	c.snapEvery = cfg.ckptEvery
+	if c.snapEvery <= 0 && cfg.replan != nil {
+		c.snapEvery = 1 // recovery needs a recent consistent snapshot
+	}
+	factory, _ := opt.Factory()
+	c.ckpt = CaptureCheckpoint(0, master, factory())
+	if cfg.ckptDir != "" {
+		saved, _, err := LatestCheckpoint(cfg.ckptDir)
+		if err != nil {
+			return nil, err
+		}
+		if saved != nil {
+			if err := saved.Restore(master, factory()); err != nil {
+				return nil, fmt.Errorf("train: checkpoint restore: %w", err)
+			}
+			c.ckpt = saved
+		}
+	}
+	c.step = c.ckpt.Step
+	if cfg.replan != nil {
+		t.SetPeerIsolation(true)
+	}
+	man, err := c.manifest()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range c.alive {
+		if err := sendEnvelope(t, w, envelope{Kind: ctrlManifest, Manifest: man}); err != nil {
+			return nil, err
+		}
+		if err := c.sendState(w); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.readyBarrier(ctx); err != nil {
+		return nil, err
+	}
+	if cfg.hbInterval > 0 {
+		c.hb = startHeartbeater(t, cfg.hbInterval, cfg.hbTimeout, nil)
+	}
+	return c, nil
+}
+
+// manifest assembles the current generation's session description.
+func (c *Coordinator) manifest() (*Manifest, error) {
+	net, err := NetSpec(c.master)
+	if err != nil {
+		return nil, err
+	}
+	man := &Manifest{
+		Model: *c.plan.Model, Cluster: c.plan.Cluster,
+		GBS: c.plan.GBS, MicroBatch: c.plan.MicroBatch,
+		Policy: int(c.eo.Policy), Recompute: c.eo.Recompute,
+		Net: net, Opt: c.opt, DeviceRanks: c.deviceRanks,
+		Workers:    c.coord,
+		Ranks:      append([]int(nil), c.alive...),
+		Survivable: c.cfg.replan != nil,
+		Heartbeat:  c.cfg.hbInterval, HeartbeatTimeout: c.cfg.hbTimeout,
+		Epoch: c.floor(),
+	}
+	for _, s := range c.plan.Stages {
 		ss := stageSpec{Lo: s.Lo, Hi: s.Hi}
 		for _, d := range s.Devices {
 			ss.Devices = append(ss.Devices, int(d))
 		}
 		man.Stages = append(man.Stages, ss)
 	}
-	c := &Coordinator{t: t, workers: workers}
-	params := master.Params()
-	for w := 0; w < workers; w++ {
-		if err := sendEnvelope(t, w, envelope{Kind: ctrlManifest, Manifest: man}); err != nil {
-			return nil, err
+	return man, nil
+}
+
+// floor is the transport epoch floor of the current session generation.
+// Generations are spaced far enough apart that no edge re-opens its way
+// from one generation into the next.
+func (c *Coordinator) floor() uint32 {
+	if c.gen == 0 {
+		return 0
+	}
+	return uint32(c.gen) << 16
+}
+
+// sendState ships the session's authoritative training state — checkpoint
+// weights and optimizer state in Params() order — to worker w, closed by
+// weights-done carrying the optimizer step counter.
+func (c *Coordinator) sendState(w int) error {
+	for i, wt := range c.ckpt.Weights {
+		if err := c.t.SendTensor(w, tensWeight, i, wt); err != nil {
+			return err
 		}
-		for i, pr := range params {
-			if err := t.SendTensor(w, tensWeight, i, pr.W); err != nil {
-				return nil, err
+	}
+	nparams := len(c.ckpt.Weights)
+	for s, slot := range c.ckpt.Slots {
+		for i, vec := range slot {
+			m := &tensor.Matrix{Rows: c.ckpt.Weights[i].Rows, Cols: c.ckpt.Weights[i].Cols, Data: vec}
+			if err := c.t.SendTensor(w, tensOptS, s*nparams+i, m); err != nil {
+				return err
 			}
 		}
-		if err := sendEnvelope(t, w, envelope{Kind: ctrlWeightsDone}); err != nil {
-			return nil, err
-		}
 	}
-	for seen := 0; seen < workers; seen++ {
-		peer, env, err := recvEnvelope(ctx, t)
-		if err != nil {
-			return nil, err
-		}
-		if env.Kind != ctrlReady {
-			return nil, fmt.Errorf("train: rank %d sent %q during handshake: %s", peer, env.Kind, env.Err)
-		}
-	}
-	return c, nil
+	return sendEnvelope(c.t, w, envelope{Kind: ctrlWeightsDone, OptStep: c.ckpt.OptStep})
 }
+
+// readyBarrier waits for every live worker's ready, skipping stale step
+// reports from before a recovery (per-connection FIFO guarantees a worker's
+// ready follows everything it sent earlier). A worker dying during the
+// barrier fails it — the caller decides between fail-stop and another
+// recovery round.
+func (c *Coordinator) readyBarrier(ctx context.Context) error {
+	pending := make(map[int]bool, len(c.alive))
+	for _, w := range c.alive {
+		pending[w] = true
+	}
+	for len(pending) > 0 {
+		peer, env, err := recvEnvelope(ctx, c.t, c.alive...)
+		if err != nil {
+			return err
+		}
+		switch env.Kind {
+		case ctrlReady:
+			delete(pending, peer)
+		case ctrlStepDone, ctrlSnapAck:
+			// Stale reports from the torn generation; drop.
+		case ctrlAbort:
+			if err := c.noteAbort(peer, env); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("train: rank %d sent %q during handshake: %s", peer, env.Kind, env.Err)
+		}
+	}
+	return nil
+}
+
+// noteAbort processes a worker's abort envelope. Fresh death evidence downs
+// the named ranks and fails the current wait so recovery sees them; evidence
+// naming only ranks the session has already removed is a stale report from
+// before the recovery and is dropped (nil). An abort without evidence is a
+// worker-level failure and fail-stops the session.
+func (c *Coordinator) noteAbort(peer int, env envelope) error {
+	if c.cfg.replan != nil && len(env.Down) > 0 {
+		alive := make(map[int]bool, len(c.alive))
+		for _, r := range c.alive {
+			alive[r] = true
+		}
+		fresh := false
+		for _, r := range env.Down {
+			if r != c.coord && alive[r] {
+				fresh = true
+				c.t.ClosePeer(r, fmt.Errorf("train: rank %d reported rank %d down: %s", peer, r, env.Err))
+			}
+		}
+		if !fresh {
+			return nil
+		}
+		return fmt.Errorf("train: rank %d reported ranks %v down: %s", peer, env.Down, env.Err)
+	}
+	return fmt.Errorf("train: rank %d aborted: %s", peer, env.Err)
+}
+
+// CompletedSteps is the number of training steps the session has completed —
+// zero on a fresh session, the restored checkpoint's step count after a
+// restart. The data feed's next iteration is this index.
+func (c *Coordinator) CompletedSteps() int { return c.step }
 
 // Step runs one distributed training iteration: micro-batches to every
 // worker, then a barrier on all step reports. The returned loss is the sum
 // of the workers' last-stage partial losses — the same micro-batch-averaged
-// cross-entropy a single-process ExecResult reports. After any error the
-// session is dead and every later Step fails immediately.
+// cross-entropy a single-process ExecResult reports.
+//
+// On failure, a fail-stop session (no WithReplan) is dead and every later
+// Step fails immediately. A survivable session instead recovers — re-plans
+// onto the live ranks, restores the last snapshot — and returns *Recovered;
+// the caller rewinds to Recovered.Resume and keeps stepping.
 func (c *Coordinator) Step(ctx context.Context, micros []Batch) (float64, error) {
 	if c.failed != nil {
 		return 0, c.failed
 	}
-	step := c.step
-	c.step++
-	for w := 0; w < c.workers; w++ {
-		if err := c.send(w, step, micros); err != nil {
-			return 0, c.fail(err)
+	loss, err := c.tryStep(ctx, micros)
+	if err == nil {
+		c.step++
+		if c.snapEvery > 0 && (c.step-c.ckpt.Step) >= c.snapEvery {
+			err = c.snapshot(ctx)
+		}
+		if err == nil {
+			return loss, nil
 		}
 	}
-	var loss float64
-	for seen := 0; seen < c.workers; seen++ {
-		peer, env, err := recvEnvelope(ctx, c.t)
-		if err != nil {
-			return 0, c.fail(err)
+	if c.cfg.replan == nil {
+		return 0, c.fail(err)
+	}
+	if ctx.Err() != nil {
+		return 0, c.fail(err) // cancellation is the caller's intent, not a rank failure
+	}
+	lost, rerr := c.recover(ctx, err)
+	if rerr != nil {
+		return 0, c.fail(rerr)
+	}
+	return 0, &Recovered{Resume: c.step, Lost: lost, Cause: err}
+}
+
+// tryStep ships one step and runs its report barrier, watching the liveness
+// plane: a pending rank going down, or the step timeout expiring with ranks
+// unreported, fails the step with death evidence instead of deadlocking.
+func (c *Coordinator) tryStep(ctx context.Context, micros []Batch) (float64, error) {
+	step := c.step
+	for _, w := range c.alive {
+		if err := c.send(w, step, micros); err != nil {
+			return 0, err
 		}
-		switch env.Kind {
-		case ctrlStepDone:
-			if env.Step != step {
-				return 0, c.fail(fmt.Errorf("train: rank %d reported step %d during step %d", peer, env.Step, step))
+	}
+	pending := make(map[int]bool, len(c.alive))
+	for _, w := range c.alive {
+		pending[w] = true
+	}
+	var expire <-chan time.Time
+	if c.cfg.stepTimeout > 0 {
+		tmr := time.NewTimer(c.cfg.stepTimeout)
+		defer tmr.Stop()
+		expire = tmr.C
+	}
+	var loss float64
+	for len(pending) > 0 {
+		downs, dwait := c.t.PeerDowns()
+		for _, r := range downs {
+			if pending[r] {
+				return 0, fmt.Errorf("train: rank %d down during step %d: %w", r, step, c.t.DownErr(r))
 			}
-			loss += env.Loss
-		case ctrlAbort:
-			return 0, c.fail(fmt.Errorf("train: rank %d aborted step %d: %s", peer, step, env.Err))
-		default:
-			return 0, c.fail(fmt.Errorf("train: rank %d sent %q during step %d", peer, env.Kind, step))
+		}
+		select {
+		case cm := <-c.t.Ctrl():
+			var env envelope
+			if err := json.Unmarshal(cm.Data, &env); err != nil {
+				return 0, fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
+			}
+			switch env.Kind {
+			case ctrlStepDone:
+				if env.Step != step {
+					continue // stale report from a torn generation
+				}
+				if pending[cm.Peer] {
+					delete(pending, cm.Peer)
+					loss += env.Loss
+				}
+			case ctrlAbort:
+				if err := c.noteAbort(cm.Peer, env); err != nil {
+					return 0, err
+				}
+			case ctrlSnapAck:
+				// Stale gather ack; drop.
+			default:
+				return 0, fmt.Errorf("train: rank %d sent %q during step %d", cm.Peer, env.Kind, step)
+			}
+		case <-dwait:
+		case <-expire:
+			err := fmt.Errorf("train: step %d timed out after %v", step, c.cfg.stepTimeout)
+			for r := range pending {
+				c.t.ClosePeer(r, err)
+			}
+			return 0, err
+		case <-c.t.Done():
+			return 0, c.t.Err()
+		case <-ctx.Done():
+			return 0, ctx.Err()
 		}
 	}
 	return loss, nil
@@ -336,12 +697,213 @@ func (c *Coordinator) send(w, step int, micros []Batch) error {
 	return nil
 }
 
+// snapshot gathers a consistent checkpoint from the workers at the current
+// step boundary and persists it when a checkpoint directory is configured.
+// Each stage's state is sent by its primary rank (the lowest rank hosting
+// one of its devices); gradient synchronization keeps all replicas of a
+// stage identical, so one copy per stage reassembles the full master state.
+func (c *Coordinator) snapshot(ctx context.Context) error {
+	for _, w := range c.alive {
+		if err := sendEnvelope(c.t, w, envelope{Kind: ctrlSnapshot, Step: c.step}); err != nil {
+			return err
+		}
+	}
+	params := c.master.Params()
+	nparams := len(params)
+	nslots := c.opt.Slots()
+	ck := &Checkpoint{Step: c.step, Weights: make([]*tensor.Matrix, nparams)}
+	ck.Slots = make([][][]float64, nslots)
+	for s := range ck.Slots {
+		ck.Slots[s] = make([][]float64, nparams)
+	}
+	need := nparams * (1 + nslots)
+	got := 0
+	acks := make(map[int]bool, len(c.alive))
+	for _, w := range c.alive {
+		acks[w] = true
+	}
+	for got < need || len(acks) > 0 {
+		downs, dwait := c.t.PeerDowns()
+		for _, r := range downs {
+			if acks[r] {
+				return fmt.Errorf("train: rank %d down during snapshot at step %d: %w", r, c.step, c.t.DownErr(r))
+			}
+		}
+		select {
+		case tm := <-c.t.Tensors():
+			switch tm.Class {
+			case tensSnapW:
+				if tm.Index < 0 || tm.Index >= nparams || ck.Weights[tm.Index] != nil {
+					return fmt.Errorf("train: snapshot weight %d unexpected", tm.Index)
+				}
+				ck.Weights[tm.Index] = tm.Data
+				got++
+			case tensSnapS:
+				s, i := tm.Index/nparams, tm.Index%nparams
+				if tm.Index < 0 || s >= nslots || ck.Slots[s][i] != nil {
+					return fmt.Errorf("train: snapshot state %d unexpected", tm.Index)
+				}
+				ck.Slots[s][i] = tm.Data.Data
+				got++
+			case tensFlush:
+				// A marker from an in-flight recovery; drop.
+			default:
+				return fmt.Errorf("train: tensor class %d during snapshot", tm.Class)
+			}
+		case cm := <-c.t.Ctrl():
+			var env envelope
+			if err := json.Unmarshal(cm.Data, &env); err != nil {
+				return fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
+			}
+			switch env.Kind {
+			case ctrlSnapAck:
+				if env.Step == c.step && acks[cm.Peer] {
+					delete(acks, cm.Peer)
+					if env.OptStep > ck.OptStep {
+						ck.OptStep = env.OptStep
+					}
+				}
+			case ctrlStepDone:
+				// Stale report; drop.
+			case ctrlAbort:
+				if err := c.noteAbort(cm.Peer, env); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("train: rank %d sent %q during snapshot", cm.Peer, env.Kind)
+			}
+		case <-dwait:
+		case <-c.t.Done():
+			return c.t.Err()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for i, w := range ck.Weights {
+		if w == nil || w.Rows != params[i].W.Rows || w.Cols != params[i].W.Cols {
+			return fmt.Errorf("train: snapshot weight %d missing or misshapen", i)
+		}
+	}
+	c.ckpt = ck
+	if c.cfg.ckptDir != "" {
+		if _, err := SaveCheckpoint(c.cfg.ckptDir, ck); err != nil {
+			return fmt.Errorf("train: checkpoint write: %w", err)
+		}
+	}
+	return nil
+}
+
+// recover heals the session after a failure: determine the dead set, retire
+// the torn transport generation, re-plan onto the survivors, restore the
+// last consistent snapshot and re-run the handshake. Another rank dying
+// mid-recovery starts the next round; recovery fails when no progress is
+// possible (no rank died, no survivors, or the re-plan itself fails).
+func (c *Coordinator) recover(ctx context.Context, cause error) ([]int, error) {
+	var lost []int
+	for attempt := 0; attempt < c.coord; attempt++ {
+		downs, _ := c.t.PeerDowns()
+		dead := make(map[int]bool, len(downs))
+		for _, r := range downs {
+			dead[r] = true
+		}
+		var alive []int
+		for _, r := range c.alive {
+			if dead[r] {
+				lost = append(lost, r)
+			} else {
+				alive = append(alive, r)
+			}
+		}
+		sort.Ints(lost)
+		if len(alive) == len(c.alive) {
+			return nil, fmt.Errorf("train: unrecoverable failure (no rank died): %w", cause)
+		}
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("train: no surviving workers: %w", cause)
+		}
+		plan, deviceRanks, err := c.cfg.replan(alive)
+		if err != nil {
+			return nil, fmt.Errorf("train: re-plan onto %v: %w", alive, err)
+		}
+		if err := validatePlacement(plan, deviceRanks, alive); err != nil {
+			return nil, err
+		}
+		// Restore the last consistent snapshot: from disk when a checkpoint
+		// directory is configured (exercising the real restore path), from
+		// the in-memory copy otherwise.
+		ck := c.ckpt
+		if c.cfg.ckptDir != "" {
+			saved, _, err := LatestCheckpoint(c.cfg.ckptDir)
+			if err == nil && saved != nil {
+				ck = saved
+			}
+		}
+		c.gen++
+		c.t.Retire(c.floor())
+		c.plan, c.deviceRanks, c.alive, c.ckpt = plan, deviceRanks, alive, ck
+		c.step = ck.Step
+		if err := c.rehandshake(ctx); err != nil {
+			if ctx.Err() != nil || c.t.Err() != nil {
+				return nil, err
+			}
+			cause = err
+			continue // another rank died; next round shrinks further
+		}
+		return lost, nil
+	}
+	return nil, fmt.Errorf("train: recovery did not converge: %w", cause)
+}
+
+// validatePlacement checks the re-plan's device map lands only on survivors.
+func validatePlacement(p *core.Plan, deviceRanks []int, alive []int) error {
+	if n := p.Cluster.NumDevices(); len(deviceRanks) < n {
+		return fmt.Errorf("train: re-plan device map covers %d of %d devices", len(deviceRanks), n)
+	}
+	ok := make(map[int]bool, len(alive))
+	for _, r := range alive {
+		ok[r] = true
+	}
+	for d, r := range deviceRanks {
+		if !ok[r] {
+			return fmt.Errorf("train: re-plan places device %d on non-surviving rank %d", d, r)
+		}
+	}
+	return nil
+}
+
+// rehandshake re-runs the session handshake on the survivors: reconfig
+// (carrying the new manifest), a flush marker fencing off the torn
+// generation's in-flight tensors, the restored state broadcast, then the
+// ready barrier.
+func (c *Coordinator) rehandshake(ctx context.Context) error {
+	man, err := c.manifest()
+	if err != nil {
+		return err
+	}
+	marker := tensor.New(1, 1)
+	for _, w := range c.alive {
+		if err := sendEnvelope(c.t, w, envelope{Kind: ctrlReconfig, Manifest: man}); err != nil {
+			return err
+		}
+		if err := c.t.SendTensor(w, tensFlush, int(man.Epoch), marker); err != nil {
+			return err
+		}
+		if err := c.sendState(w); err != nil {
+			return err
+		}
+	}
+	return c.readyBarrier(ctx)
+}
+
 // fail latches the session's first error, tells every worker to abort, and
 // tears the mesh down.
 func (c *Coordinator) fail(err error) error {
 	if c.failed == nil {
 		c.failed = err
-		for w := 0; w < c.workers; w++ {
+		if c.hb != nil {
+			c.hb.Stop()
+		}
+		for _, w := range c.alive {
 			sendEnvelope(c.t, w, envelope{Kind: ctrlAbort, Err: err.Error()}) //nolint:errcheck // best-effort on a dying session
 		}
 		c.t.Close()
@@ -350,46 +912,88 @@ func (c *Coordinator) fail(err error) error {
 }
 
 // Close ends a healthy session: shutdown to every worker, a barrier on
-// their acks (so no worker is still mid-read when the connections drop),
-// then the mesh.
+// their acks (so no worker is still mid-read when the connections drop)
+// bounded by the shutdown timeout, then the mesh.
 func (c *Coordinator) Close() error {
+	if c.hb != nil {
+		c.hb.Stop()
+	}
 	if c.failed != nil {
 		return nil
 	}
-	for w := 0; w < c.workers; w++ {
+	for _, w := range c.alive {
 		if err := sendEnvelope(c.t, w, envelope{Kind: ctrlShutdown}); err != nil {
 			return c.t.Close()
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.shutdownTimeout)
 	defer cancel()
-	for seen := 0; seen < c.workers; seen++ {
-		if _, env, err := recvEnvelope(ctx, c.t); err != nil || env.Kind != ctrlShutdownAck {
-			break
+	pending := make(map[int]bool, len(c.alive))
+	for _, w := range c.alive {
+		pending[w] = true
+	}
+	for len(pending) > 0 {
+		peer, env, err := recvEnvelope(ctx, c.t)
+		if err != nil {
+			break // timeout, dead transport or downed rank: close anyway
+		}
+		if env.Kind == ctrlShutdownAck {
+			delete(pending, peer)
 		}
 	}
 	return c.t.Close()
 }
 
 // Worker is one rank of a multi-process session: it receives the manifest
-// and weights, hosts its share of stage replicas in an Executor, and runs
-// coordinator-gated steps until shutdown.
+// and state, hosts its share of stage replicas in an Executor, and runs
+// coordinator-gated steps until shutdown. In a survivable session it also
+// participates in recovery: executor failures with death evidence are
+// reported and survived, and a coordinator reconfig rebuilds the executor
+// onto the new plan.
 type Worker struct {
 	t    *transport.TCP
 	rank int
 
-	exec *Executor
-	man  *Manifest
+	exec      *Executor
+	man       *Manifest
+	net       *nn.Network
+	optStep   int                 // optimizer update counter of the last broadcast
+	data      transport.Transport // data-plane override (chaos tests); nil uses t
+	dieAtStep int                 // scripted death for fault tests; -1 disables
+	flushSeen int                 // highest recovery flush marker consumed
+	hb        *heartbeater
 }
 
 // NewWorker wraps an already-connected mesh (rank set, peers dialed) as a
 // session worker.
 func NewWorker(t *transport.TCP, rank int) *Worker {
-	return &Worker{t: t, rank: rank}
+	return &Worker{t: t, rank: rank, dieAtStep: -1, flushSeen: -1}
 }
 
 // Executor returns the worker's executor, nil before the handshake.
 func (w *Worker) Executor() *Executor { return w.exec }
+
+// SetDieAtStep scripts this worker's death: it tears down its transport and
+// exits cleanly the moment the coordinator announces the given step — the
+// deterministic "rank dies at step k" fault of the chaos harness. Negative
+// disables (the default).
+func (w *Worker) SetDieAtStep(step int) { w.dieAtStep = step }
+
+// SetDataTransport overrides the transport the worker's executor opens
+// edges and groups on (the control plane stays on the session mesh). Chaos
+// tests wrap the mesh here; nil (the default) uses the mesh directly.
+func (w *Worker) SetDataTransport(tr transport.Transport) { w.data = tr }
+
+// dataTransport is the executor-facing transport.
+func (w *Worker) dataTransport() transport.Transport {
+	if w.data != nil {
+		return w.data
+	}
+	return w.t
+}
+
+// coordRank is the coordinator's mesh rank (valid after the manifest).
+func (w *Worker) coordRank() int { return w.man.Workers }
 
 // Serve runs the worker side of the session protocol until shutdown (nil),
 // session failure, or ctx cancellation. It must be called once, after the
@@ -398,9 +1002,13 @@ func (w *Worker) Serve(ctx context.Context) error {
 	if err := w.handshake(ctx); err != nil {
 		return err
 	}
-	coord := w.man.Workers
+	if w.man.Heartbeat > 0 {
+		w.hb = startHeartbeater(w.t, w.man.Heartbeat, w.man.HeartbeatTimeout, nil)
+		defer w.hb.Stop()
+	}
+	coord := w.coordRank()
 	for {
-		peer, env, err := recvEnvelope(ctx, w.t)
+		peer, env, err := recvEnvelope(ctx, w.t, coord)
 		if err != nil {
 			return err
 		}
@@ -409,13 +1017,33 @@ func (w *Worker) Serve(ctx context.Context) error {
 		}
 		switch env.Kind {
 		case ctrlStep:
-			if err := w.runStep(ctx, env); err != nil {
+			if w.dieAtStep >= 0 && env.Step >= w.dieAtStep {
+				w.t.Close()
+				return nil
+			}
+			next, err := w.runStep(ctx, env)
+			if err != nil {
+				return err
+			}
+			if next != nil {
+				if err := w.reconfig(ctx, *next); err != nil {
+					return err
+				}
+			}
+		case ctrlSnapshot:
+			if err := w.sendSnapshot(env); err != nil {
+				return err
+			}
+		case ctrlReconfig:
+			if err := w.reconfig(ctx, env); err != nil {
 				return err
 			}
 		case ctrlShutdown:
-			// Ack before returning: the coordinator holds its connections
-			// open until every worker confirms it is out of the protocol.
+			// Ack, then hold the mesh open until the coordinator — who has
+			// every worker's ack — tears it down: a worker closing early
+			// would EOF peers that are still draining their own shutdown.
 			sendEnvelope(w.t, coord, envelope{Kind: ctrlShutdownAck}) //nolint:errcheck // session is over either way
+			w.awaitTeardown(ctx)
 			return nil
 		case ctrlAbort:
 			return fmt.Errorf("train: session aborted by coordinator: %s", env.Err)
@@ -425,8 +1053,35 @@ func (w *Worker) Serve(ctx context.Context) error {
 	}
 }
 
+// awaitTeardown blocks (bounded) until the coordinator tears the session
+// down after a clean shutdown: under peer isolation its connection dropping
+// marks it down; under fail-stop semantics the whole transport dies.
+func (w *Worker) awaitTeardown(ctx context.Context) {
+	coord := w.coordRank()
+	deadline := time.NewTimer(30 * time.Second)
+	defer deadline.Stop()
+	for {
+		downs, dwait := w.t.PeerDowns()
+		for _, r := range downs {
+			if r == coord {
+				return
+			}
+		}
+		select {
+		case <-dwait:
+		case <-w.t.Done():
+			return
+		case <-ctx.Done():
+			return
+		case <-deadline.C:
+			return
+		}
+	}
+}
+
 // handshake consumes the manifest, rebuilds the plan and network, fills the
-// weights from the broadcast, constructs the executor and reports ready.
+// weights and optimizer state from the broadcast, constructs the executor
+// and reports ready.
 func (w *Worker) handshake(ctx context.Context) error {
 	_, env, err := recvEnvelope(ctx, w.t)
 	if err != nil {
@@ -437,19 +1092,31 @@ func (w *Worker) handshake(ctx context.Context) error {
 	}
 	man := env.Manifest
 	w.man = man
-	// The manifest reveals the full mesh (workers 0..W-1 plus the
-	// coordinator at W); wait for every connection before building the
+	if man.Survivable {
+		w.t.SetPeerIsolation(true)
+	}
+	// The manifest reveals the full mesh (the participating workers plus
+	// the coordinator); wait for every connection before building the
 	// executor so edge and group sends never race the dial-in of a
 	// slower-starting peer.
 	peers := make([]int, 0, man.Workers)
-	for r := 0; r <= man.Workers; r++ {
+	for _, r := range man.ranks() {
 		if r != w.rank {
 			peers = append(peers, r)
 		}
 	}
+	peers = append(peers, man.Workers)
 	if err := w.t.WaitPeers(ctx, peers); err != nil {
 		return err
 	}
+	return w.buildSession(ctx, man)
+}
+
+// buildSession receives the state broadcast and constructs the executor for
+// the manifest's plan — the shared tail of the initial handshake and every
+// recovery reconfig.
+func (w *Worker) buildSession(ctx context.Context, man *Manifest) error {
+	coord := man.Workers
 	mdl := man.Model
 	p := &core.Plan{Model: &mdl, Cluster: man.Cluster, GBS: man.GBS, MicroBatch: man.MicroBatch}
 	for _, ss := range man.Stages {
@@ -464,6 +1131,7 @@ func (w *Worker) handshake(ctx context.Context) error {
 		return err
 	}
 	params := net.Params()
+	nparams := len(params)
 	for i := range params {
 		tm, err := recvTensor(ctx, w.t)
 		if err != nil {
@@ -478,50 +1146,204 @@ func (w *Worker) handshake(ctx context.Context) error {
 		}
 		copy(params[i].W.Data, tm.Data.Data)
 	}
-	if _, env, err = recvEnvelope(ctx, w.t); err != nil {
+	nslots := man.Opt.Slots()
+	slots := make([][][]float64, nslots)
+	for s := 0; s < nslots; s++ {
+		slots[s] = make([][]float64, nparams)
+		for i := 0; i < nparams; i++ {
+			tm, err := recvTensor(ctx, w.t)
+			if err != nil {
+				return err
+			}
+			if tm.Class != tensOptS || tm.Index != s*nparams+i {
+				return fmt.Errorf("train: optimizer-state broadcast out of order (class %d index %d, want %d)",
+					tm.Class, tm.Index, s*nparams+i)
+			}
+			slots[s][i] = tm.Data.Data
+		}
+	}
+	_, doneEnv, err := recvEnvelope(ctx, w.t)
+	if err != nil {
 		return err
 	}
-	if env.Kind != ctrlWeightsDone {
-		return fmt.Errorf("train: worker expected weights-done, got %q", env.Kind)
+	if doneEnv.Kind != ctrlWeightsDone {
+		return fmt.Errorf("train: worker expected weights-done, got %q", doneEnv.Kind)
 	}
+	w.optStep = doneEnv.OptStep
 	factory, err := man.Opt.Factory()
 	if err != nil {
 		return err
 	}
-	w.exec, err = NewExecutor(p, net, factory, ExecOptions{
+	exec, err := NewExecutor(p, net, factory, ExecOptions{
 		Policy: schedule.Policy(man.Policy), Recompute: man.Recompute, NoTrace: true,
-		Dist: &DistConfig{Transport: w.t, Rank: w.rank, DeviceRanks: man.DeviceRanks},
+		Dist: &DistConfig{Transport: w.dataTransport(), Rank: w.rank, DeviceRanks: man.DeviceRanks},
 	})
+	if err == nil && nslots > 0 {
+		err = restoreExecState(exec, man, net, w.optStep, slots)
+	}
 	if err != nil {
-		sendEnvelope(w.t, man.Workers, envelope{Kind: ctrlAbort, Err: err.Error()}) //nolint:errcheck // best-effort before failing
+		sendEnvelope(w.t, coord, envelope{Kind: ctrlAbort, Err: err.Error()}) //nolint:errcheck // best-effort before failing
 		return err
 	}
-	return sendEnvelope(w.t, man.Workers, envelope{Kind: ctrlReady})
+	w.exec = exec
+	w.net = net
+	return sendEnvelope(w.t, coord, envelope{Kind: ctrlReady})
+}
+
+// restoreExecState distributes a full-network optimizer state into the
+// executor's hosted replicas, slicing the global per-parameter vectors down
+// to each stage's parameter range.
+func restoreExecState(exec *Executor, man *Manifest, net *nn.Network, optStep int, slots [][][]float64) error {
+	offs := layerParamOffsets(net)
+	for si, ss := range man.Stages {
+		plo, phi := offs[ss.Lo], offs[ss.Hi]
+		if plo == phi {
+			continue
+		}
+		sub := make([][][]float64, len(slots))
+		for s := range slots {
+			sub[s] = slots[s][plo:phi]
+		}
+		for r := range ss.Devices {
+			if !exec.HostsReplica(si, r) {
+				continue
+			}
+			st, ok := exec.StageOptimizer(si, r).(nn.Stateful)
+			if !ok {
+				continue
+			}
+			if err := st.RestoreState(exec.StageParams(si, r), nn.OptState{Step: optStep, Slots: sub}); err != nil {
+				return fmt.Errorf("train: stage %d replica %d optimizer restore: %w", si, r, err)
+			}
+		}
+	}
+	return nil
+}
+
+// layerParamOffsets returns, per layer boundary, the number of parameters in
+// all earlier layers — mapping a stage's layer range to its global parameter
+// range.
+func layerParamOffsets(net *nn.Network) []int {
+	offs := make([]int, len(net.Layers)+1)
+	for i, l := range net.Layers {
+		offs[i+1] = offs[i] + len(l.Params())
+	}
+	return offs
+}
+
+// sendSnapshot ships this rank's share of a consistent snapshot: for every
+// stage whose primary (lowest-hosting) rank this is, the stage's weights and
+// optimizer state from its first hosted replica, then the ack. Called only
+// between steps, so the state is a clean step boundary by construction.
+func (w *Worker) sendSnapshot(env envelope) error {
+	coord := w.coordRank()
+	offs := layerParamOffsets(w.net)
+	nparams := offs[len(offs)-1]
+	optStep := 0
+	for si, ss := range w.man.Stages {
+		primary := w.rank + 1
+		for _, d := range ss.Devices {
+			if r := w.man.DeviceRanks[d]; primary > r {
+				primary = r
+			}
+		}
+		if primary != w.rank {
+			continue
+		}
+		replica := -1
+		for r := range ss.Devices {
+			if w.exec.HostsReplica(si, r) {
+				replica = r
+				break
+			}
+		}
+		if replica < 0 {
+			return fmt.Errorf("train: snapshot: stage %d has no hosted replica on primary rank %d", si, w.rank)
+		}
+		params := w.exec.StageParams(si, replica)
+		plo := offs[ss.Lo]
+		for j, p := range params {
+			if err := w.t.SendTensor(coord, tensSnapW, plo+j, p.W); err != nil {
+				return err
+			}
+		}
+		if st, ok := w.exec.StageOptimizer(si, replica).(nn.Stateful); ok {
+			state := st.CaptureState(params)
+			if state.Step > optStep {
+				optStep = state.Step
+			}
+			for s, slot := range state.Slots {
+				for j, vec := range slot {
+					m := &tensor.Matrix{Rows: params[j].W.Rows, Cols: params[j].W.Cols, Data: vec}
+					if err := w.t.SendTensor(coord, tensSnapS, s*nparams+plo+j, m); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return sendEnvelope(w.t, coord, envelope{Kind: ctrlSnapAck, Step: env.Step, OptStep: optStep})
+}
+
+// reconfig rebuilds the session onto a recovery manifest: retire the torn
+// transport generation, drain stale tensors up to the coordinator's flush
+// marker, then rebuild the executor from the restored state broadcast.
+func (w *Worker) reconfig(ctx context.Context, env envelope) error {
+	if env.Manifest == nil {
+		return fmt.Errorf("train: reconfig without manifest")
+	}
+	man := env.Manifest
+	w.man = man
+	w.t.Retire(man.Epoch)
+	for w.flushSeen < int(man.Epoch) {
+		tm, err := recvTensor(ctx, w.t)
+		if err != nil {
+			return err
+		}
+		if tm.Class == tensFlush {
+			w.flushSeen = tm.Index
+		}
+	}
+	return w.buildSession(ctx, man)
 }
 
 // runStep receives one step's micro-batches and executes the local share of
-// the plan, watching the control plane throughout so a peer's abort (relayed
-// by the coordinator) cancels a step blocked on cross-process transfers.
-func (w *Worker) runStep(ctx context.Context, env envelope) error {
-	coord := w.man.Workers
-	micros := make([]Batch, env.M)
+// the plan, watching the control plane throughout so a peer's abort or a
+// recovery reconfig cancels a step blocked on cross-process transfers. In a
+// survivable session an executor failure is reported with death evidence
+// and survived (the worker waits for the coordinator's verdict); the
+// returned envelope, when non-nil, is a reconfig that interrupted the step
+// and must be processed next.
+func (w *Worker) runStep(ctx context.Context, env envelope) (*envelope, error) {
+	coord := w.coordRank()
+	micros := make([]Batch, 0, env.M)
 	for mb := 0; mb < env.M; mb++ {
 		x, err := recvTensor(ctx, w.t)
 		if err != nil {
-			return err
+			return nil, err
+		}
+		if x.Class == tensFlush {
+			// A recovery started while this step's tensors were in flight:
+			// abandon the step; the reconfig envelope is already queued.
+			w.flushSeen = x.Index
+			return nil, nil
 		}
 		y, err := recvTensor(ctx, w.t)
 		if err != nil {
-			return err
+			return nil, err
+		}
+		if y.Class == tensFlush {
+			w.flushSeen = y.Index
+			return nil, nil
 		}
 		if x.Class != tensX || y.Class != tensY || x.Index != mb || y.Index != mb {
-			return fmt.Errorf("train: step %d micro %d arrived out of order", env.Step, mb)
+			return nil, fmt.Errorf("train: step %d micro %d arrived out of order", env.Step, mb)
 		}
 		labels := make([]int, y.Data.Rows)
 		for i := range labels {
 			labels[i] = int(y.Data.Data[i])
 		}
-		micros[mb] = Batch{X: x.Data, Y: labels}
+		micros = append(micros, Batch{X: x.Data, Y: labels})
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -535,19 +1357,21 @@ func (w *Worker) runStep(ctx context.Context, env envelope) error {
 		done <- outcome{res, err}
 	}()
 	var aborted error
+	var next *envelope
 	select {
 	case out := <-done:
 		if out.err != nil {
-			sendEnvelope(w.t, coord, envelope{Kind: ctrlAbort, Step: env.Step, Err: out.err.Error()}) //nolint:errcheck // best-effort on a dying session
-			return out.err
+			return nil, w.stepFailed(env.Step, out.err)
 		}
-		return sendEnvelope(w.t, coord, envelope{Kind: ctrlStepDone, Step: env.Step, Loss: out.res.Loss})
+		return nil, sendEnvelope(w.t, coord, envelope{Kind: ctrlStepDone, Step: env.Step, Loss: out.res.Loss})
 	case cm := <-w.t.Ctrl():
-		// A peer failed mid-step and the coordinator relayed the abort (or
-		// sent something unexpected — equally fatal). Cancel the local step
-		// so its workers unblock from cross-process receives.
+		// The coordinator interrupted the step: a relayed abort, a recovery
+		// reconfig, or something unexpected (equally fatal). Cancel the
+		// local step so its workers unblock from cross-process receives.
 		var e envelope
-		if err := json.Unmarshal(cm.Data, &e); err == nil && e.Kind == ctrlAbort {
+		if err := json.Unmarshal(cm.Data, &e); err == nil && e.Kind == ctrlReconfig {
+			next = &e
+		} else if err == nil && e.Kind == ctrlAbort {
 			aborted = fmt.Errorf("train: session aborted by coordinator: %s", e.Err)
 		} else {
 			aborted = fmt.Errorf("train: unexpected control frame from rank %d mid-step", cm.Peer)
@@ -558,6 +1382,30 @@ func (w *Worker) runStep(ctx context.Context, env envelope) error {
 		aborted = ctx.Err()
 	}
 	cancel()
-	<-done // the executor must be fully quiescent before Serve returns
-	return aborted
+	<-done // the executor must be fully quiescent before moving on
+	return next, aborted
+}
+
+// stepFailed reports an executor failure. In a survivable session the
+// report carries the ranks this worker saw die and the worker stays alive
+// for the coordinator's recovery; otherwise the failure ends the worker,
+// preserving fail-stop semantics.
+func (w *Worker) stepFailed(step int, cause error) error {
+	coord := w.coordRank()
+	if !w.man.Survivable {
+		sendEnvelope(w.t, coord, envelope{Kind: ctrlAbort, Step: step, Err: cause.Error()}) //nolint:errcheck // best-effort on a dying session
+		return cause
+	}
+	downs, _ := w.t.PeerDowns()
+	evidence := make([]int, 0, len(downs))
+	for _, r := range downs {
+		if r != coord {
+			evidence = append(evidence, r)
+		}
+	}
+	err := sendEnvelope(w.t, coord, envelope{Kind: ctrlAbort, Step: step, Err: cause.Error(), Down: evidence})
+	if err != nil {
+		return err
+	}
+	return nil // await the coordinator's reconfig or abort
 }

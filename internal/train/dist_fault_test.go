@@ -1,0 +1,311 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/nn"
+	"dapple/internal/schedule"
+	"dapple/internal/transport"
+)
+
+// TestShutdownAckBarrierTimesOut wedges a worker that completes the
+// handshake and then stops processing control messages entirely — the
+// hung-worker shape — and checks Close returns within the configured
+// shutdown timeout instead of blocking on the ack barrier forever.
+func TestShutdownAckBarrierTimesOut(t *testing.T) {
+	master := nn.MLP([]int{8, 10, 4}, 5) // dense, relu, dense
+	mod, err := ProfileNetwork("mute-net", master, 8, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := hardware.ConfigA(1)
+	cl.GPUsPerServer = 1
+	p := &core.Plan{
+		Model: mod, Cluster: cl,
+		Stages: []core.Stage{{Lo: 0, Hi: 3, Devices: []hardware.DeviceID{0}}},
+		GBS:    8, MicroBatch: 4,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	wt, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt.SetRank(0)
+	ct := transport.NewTCP()
+	ct.SetRank(1)
+	t.Cleanup(func() { wt.Close(); ct.Close() })
+	if err := ct.Dial(ctx, 0, wt.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mute worker: a hand-rolled rank that runs the handshake honestly
+	// and then never reads another control message.
+	nparams := len(master.Params())
+	muted := make(chan error, 1)
+	go func() {
+		muted <- func() error {
+			if _, env, err := recvEnvelope(ctx, wt); err != nil {
+				return err
+			} else if env.Kind != ctrlManifest {
+				return fmt.Errorf("expected manifest, got %q", env.Kind)
+			}
+			for i := 0; i < nparams; i++ {
+				if _, err := recvTensor(ctx, wt); err != nil {
+					return err
+				}
+			}
+			if _, env, err := recvEnvelope(ctx, wt); err != nil {
+				return err
+			} else if env.Kind != ctrlWeightsDone {
+				return fmt.Errorf("expected weights-done, got %q", env.Kind)
+			}
+			return sendEnvelope(wt, 1, envelope{Kind: ctrlReady})
+		}()
+	}()
+
+	coord, err := NewCoordinator(ctx, ct, p, master, OptSpec{Kind: "sgd", LR: 0.05},
+		ExecOptions{Policy: schedule.DapplePA}, []int{0}, 1,
+		WithShutdownTimeout(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-muted; err != nil {
+		t.Fatalf("mute worker handshake: %v", err)
+	}
+
+	start := time.Now()
+	if err := coord.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v; the ack barrier did not time out", elapsed)
+	} else if elapsed < 200*time.Millisecond {
+		t.Fatalf("Close returned in %v without waiting for the ack barrier", elapsed)
+	}
+}
+
+// TestSessionSurvivesWorkerDeath is the tentpole's end-to-end recovery test:
+// a two-worker session (momentum optimizer, so real optimizer state is at
+// stake) loses worker 1 to a scripted death at step 2; the coordinator must
+// detect it, re-plan the pipeline onto the survivor, restore the last
+// consistent checkpoint from disk and resume — and every completed step's
+// loss, including the re-run ones, must match an uninterrupted sequential
+// run to float tolerance.
+func TestSessionSurvivesWorkerDeath(t *testing.T) {
+	p, master, deviceRanks, b0, b1, b2 := distFixture(t)
+	rng := rand.New(rand.NewSource(9))
+	proj := NewQuadrantProblem(rng, 16)
+	b3 := QuadrantBatches(rng, proj, 4, 8)
+	iters := [][]Batch{b0, b1, b2, b3}
+
+	// Uninterrupted reference: plain sequential training on a clone.
+	refNet := master.Clone()
+	refOpt := nn.NewMomentum(0.05, 0.9)
+	want := make([]float64, len(iters))
+	for k, micros := range iters {
+		loss, err := SequentialStep(refNet, micros, refOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = loss
+	}
+
+	// Survivor re-plan: the 2-server pipeline collapses onto rank 0's two
+	// devices as a plain 2-stage pipeline (no replication left to run).
+	replans := 0
+	replan := func(alive []int) (*core.Plan, []int, error) {
+		replans++
+		if len(alive) != 1 || alive[0] != 0 {
+			return nil, nil, fmt.Errorf("unexpected survivors %v", alive)
+		}
+		cl := hardware.ConfigA(1)
+		cl.GPUsPerServer = 2
+		p2 := &core.Plan{
+			Model: p.Model, Cluster: cl,
+			Stages: []core.Stage{
+				{Lo: 0, Hi: 3, Devices: []hardware.DeviceID{0}},
+				{Lo: 3, Hi: 7, Devices: []hardware.DeviceID{1}},
+			},
+			GBS: p.GBS, MicroBatch: p.MicroBatch,
+		}
+		if err := p2.Validate(); err != nil {
+			return nil, nil, err
+		}
+		return p2, []int{0, 0}, nil
+	}
+
+	w0t, w1t, ct := sessionMesh(t)
+	w0, w1 := NewWorker(w0t, 0), NewWorker(w1t, 1)
+	w1.SetDieAtStep(2)
+	served0, served1 := make(chan error, 1), make(chan error, 1)
+	go func() { served0 <- w0.Serve(context.Background()) }()
+	go func() { served1 <- w1.Serve(context.Background()) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	dir := t.TempDir()
+	coord, err := NewCoordinator(ctx, ct, p, master, OptSpec{Kind: "momentum", LR: 0.05, Beta: 0.9},
+		ExecOptions{Policy: schedule.DapplePA}, deviceRanks, 2,
+		WithReplan(replan),
+		WithCheckpoint(dir, 1),
+		WithHeartbeat(20*time.Millisecond, 2*time.Second),
+		WithStepTimeout(20*time.Second),
+		WithShutdownTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]float64, len(iters))
+	recoveries := 0
+	for k := 0; k < len(iters); {
+		loss, err := coord.Step(ctx, iters[k])
+		if err != nil {
+			var rec *Recovered
+			if !errors.As(err, &rec) {
+				t.Fatalf("step %d: %v", k, err)
+			}
+			recoveries++
+			if recoveries > 1 {
+				t.Fatalf("session recovered %d times for one death", recoveries)
+			}
+			if !reflect.DeepEqual(rec.Lost, []int{1}) {
+				t.Fatalf("recovery lost ranks %v, want [1]", rec.Lost)
+			}
+			if rec.Resume != 2 {
+				t.Fatalf("recovery resumes at step %d, want 2 (checkpoint every step)", rec.Resume)
+			}
+			k = rec.Resume
+			continue
+		}
+		got[k] = loss
+		k++
+	}
+	if recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", recoveries)
+	}
+	if replans != 1 {
+		t.Fatalf("replan called %d times, want 1", replans)
+	}
+	for k := range iters {
+		if drift := math.Abs(got[k] - want[k]); drift > 1e-6 {
+			t.Fatalf("step %d: loss %.12f vs uninterrupted %.12f (drift %.3g)", k, got[k], want[k], drift)
+		}
+	}
+
+	// The dead worker exited cleanly (scripted death, not a crash of the
+	// test harness), and the survivor is still serving.
+	select {
+	case err := <-served1:
+		if err != nil {
+			t.Fatalf("dead worker exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dead worker never exited")
+	}
+
+	// The session's final state must match the uninterrupted run: the last
+	// gathered checkpoint against the sequential reference.
+	refParams := refNet.Params()
+	if len(coord.ckpt.Weights) != len(refParams) {
+		t.Fatalf("final checkpoint has %d params, want %d", len(coord.ckpt.Weights), len(refParams))
+	}
+	if coord.ckpt.Step != len(iters) {
+		t.Fatalf("final checkpoint at step %d, want %d", coord.ckpt.Step, len(iters))
+	}
+	for i, w := range coord.ckpt.Weights {
+		for j := range w.Data {
+			if drift := math.Abs(w.Data[j] - refParams[i].W.Data[j]); drift > 1e-6 {
+				t.Fatalf("final weight %d[%d] drifts %.3g from uninterrupted run", i, j, drift)
+			}
+		}
+	}
+
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served0:
+		if err != nil {
+			t.Fatalf("surviving worker: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("surviving worker never shut down")
+	}
+}
+
+// TestSessionResumesFromCheckpointDir starts a session, trains, closes it,
+// then starts a brand-new session pointed at the same checkpoint directory
+// and checks it picks up exactly where the first left off — the
+// crash-and-restart restore path, compared against one uninterrupted run.
+func TestSessionResumesFromCheckpointDir(t *testing.T) {
+	p, master, deviceRanks, b0, b1, b2 := distFixture(t)
+	iters := [][]Batch{b0, b1, b2}
+
+	refNet := master.Clone()
+	refOpt := nn.NewMomentum(0.05, 0.9)
+	want := make([]float64, len(iters))
+	for k, micros := range iters {
+		loss, err := SequentialStep(refNet, micros, refOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = loss
+	}
+
+	dir := t.TempDir()
+	spec := OptSpec{Kind: "momentum", LR: 0.05, Beta: 0.9}
+	runSession := func(masterIn *nn.Network, from, to int) {
+		t.Helper()
+		w0t, w1t, ct := sessionMesh(t)
+		workers := []*Worker{NewWorker(w0t, 0), NewWorker(w1t, 1)}
+		served := make(chan error, len(workers))
+		for _, w := range workers {
+			go func(w *Worker) { served <- w.Serve(context.Background()) }(w)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		coord, err := NewCoordinator(ctx, ct, p, masterIn, spec,
+			ExecOptions{Policy: schedule.DapplePA}, deviceRanks, len(workers),
+			WithCheckpoint(dir, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := from; k < to; k++ {
+			loss, err := coord.Step(ctx, iters[k])
+			if err != nil {
+				t.Fatalf("step %d: %v", k, err)
+			}
+			if drift := math.Abs(loss - want[k]); drift > 1e-6 {
+				t.Fatalf("step %d: loss %.12f vs uninterrupted %.12f (drift %.3g)", k, loss, want[k], drift)
+			}
+		}
+		if err := coord.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for range workers {
+			if err := <-served; err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+		}
+	}
+
+	// First life: steps 0 and 1, checkpointing every step.
+	runSession(master, 0, 2)
+	// Second life: a fresh mesh and fresh master weights — everything must
+	// come from the checkpoint directory, including momentum's velocity.
+	runSession(master.Clone(), 2, 3)
+}

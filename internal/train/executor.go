@@ -33,8 +33,11 @@ var errAborted = transport.ErrAborted
 // exchange, local broadcast).
 type DistConfig struct {
 	// Transport is the process mesh (connected to every peer rank that
-	// shares a stage boundary or replica group with this one).
-	Transport *transport.TCP
+	// shares a stage boundary or replica group with this one). The executor
+	// only opens edges and groups on it, so any Transport works — the TCP
+	// backend in production, a transport.Chaos wrapper in fault-injection
+	// tests.
+	Transport transport.Transport
 	// Rank is this process's rank in the mesh.
 	Rank int
 	// DeviceRanks maps every cluster device ID to its hosting rank.
@@ -368,6 +371,11 @@ func (e *Executor) NumStages() int { return len(e.stages) }
 // StageParams returns the parameters of stage i's replica r, for equivalence
 // checks against a reference network.
 func (e *Executor) StageParams(i, r int) []nn.Param { return e.stages[i].nets[r].Params() }
+
+// StageOptimizer returns the optimizer of stage i's replica r (nil when the
+// replica is not hosted here), so session checkpointing can capture and
+// restore per-replica optimizer state.
+func (e *Executor) StageOptimizer(i, r int) nn.Optimizer { return e.stages[i].opts[r] }
 
 // HostsReplica reports whether stage i's replica r lives in this process
 // (always true without a DistConfig).

@@ -1,0 +1,96 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dapple/internal/transport"
+)
+
+// heartbeater is the liveness plane of one session rank: every interval it
+// sends a heartbeat frame to each live peer and checks each peer's
+// last-heard clock; a peer silent past timeout is declared dead through the
+// transport's ClosePeer, which under peer isolation marks only that rank
+// down (waking the session's recovery) and under fail-stop semantics ends
+// the session — exactly the failure semantics the session was configured
+// with. Any received frame counts as liveness evidence, so a rank that is
+// slow but still streaming tensors is never falsely declared dead.
+type heartbeater struct {
+	t        *transport.TCP
+	interval time.Duration
+	timeout  time.Duration
+	peers    func() []int                         // watch list; nil watches every live connection
+	send     func(peer int) error                 // heartbeat sender, injectable for fault tests
+	verdict  func(peer int, silent time.Duration) // death verdict, injectable
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startHeartbeater launches the liveness loop. peers may be nil to watch
+// every live connection. interval must be positive; timeout <= 0 disables
+// death verdicts (send-only mode, for ranks that only need to prove their
+// own liveness).
+func startHeartbeater(t *transport.TCP, interval, timeout time.Duration, peers func() []int) *heartbeater {
+	h := &heartbeater{
+		t: t, interval: interval, timeout: timeout, peers: peers,
+		send: t.SendHeartbeat,
+		stop: make(chan struct{}),
+	}
+	h.verdict = func(peer int, silent time.Duration) {
+		t.ClosePeer(peer, fmt.Errorf("train: rank %d heartbeat-silent for %v (timeout %v)", peer, silent, timeout))
+	}
+	h.wg.Add(1)
+	go h.run()
+	return h
+}
+
+// run is the liveness loop body.
+func (h *heartbeater) run() {
+	defer h.wg.Done()
+	tick := time.NewTicker(h.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			h.beat()
+		case <-h.stop:
+			return
+		case <-h.t.Done():
+			return
+		}
+	}
+}
+
+// beat sends one round of heartbeats and applies the timeout verdict.
+func (h *heartbeater) beat() {
+	watch := h.t.Peers()
+	if h.peers != nil {
+		watch = h.peers()
+	}
+	now := time.Now()
+	for _, p := range watch {
+		h.send(p) //nolint:errcheck // a failed send is itself liveness evidence the reader pump reports
+		if h.timeout <= 0 {
+			continue
+		}
+		last, ok := h.t.LastHeard(p)
+		if !ok {
+			continue // already down or never connected; not this plane's call
+		}
+		if silent := now.Sub(last); silent > h.timeout {
+			h.verdict(p, silent)
+		}
+	}
+}
+
+// Stop ends the liveness loop and waits for it to exit.
+func (h *heartbeater) Stop() {
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	h.wg.Wait()
+}

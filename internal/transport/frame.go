@@ -27,6 +27,10 @@ const (
 	// FrameTensor carries an out-of-band tensor (weight broadcast, step
 	// inputs): A is the tensor class, M the index within the class.
 	FrameTensor = 5
+	// FrameHeartbeat is the liveness plane's keep-alive: no payload, no
+	// routing. Receiving any frame refreshes the peer's last-heard clock;
+	// heartbeats exist to generate that traffic on an otherwise idle mesh.
+	FrameHeartbeat = 6
 )
 
 // HeaderSize is the encoded size of a frame Header in bytes.
@@ -97,7 +101,7 @@ func decodeHeader(b []byte) (Header, error) {
 		Cols:  int32(binary.LittleEndian.Uint32(b[28:])),
 		N:     binary.LittleEndian.Uint32(b[32:]),
 	}
-	if h.Type < FrameHello || h.Type > FrameTensor {
+	if h.Type < FrameHello || h.Type > FrameHeartbeat {
 		return Header{}, fmt.Errorf("transport: unknown frame type %d", h.Type)
 	}
 	if h.N > MaxFramePayload {

@@ -2,14 +2,27 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dapple/internal/tensor"
 )
+
+// ErrPeerDown is wrapped by operations targeting a rank whose connection has
+// failed while the transport runs in peer-isolation mode (the rest of the
+// mesh stays live). errors.Is(err, ErrPeerDown) distinguishes a lost peer
+// from a dead transport.
+var ErrPeerDown = errors.New("transport: peer down")
+
+// defaultDialRetryLimit caps DialRetry's total retry window when the caller's
+// context carries no deadline, so a peer that never comes up fails the dial
+// instead of retrying forever. A var (not a const) so tests can shrink it.
+var defaultDialRetryLimit = 2 * time.Minute
 
 // CtrlMsg is one received control-plane payload and the rank it came from.
 type CtrlMsg struct {
@@ -54,18 +67,26 @@ type Stats struct {
 // protocol's control plane: HELLO rank exchange, opaque control payloads
 // and out-of-band tensors.
 //
-// A TCP transport fails stop: the first connection error closes the whole
-// transport and every blocked operation returns ErrClosed.
+// By default a TCP transport fails stop: the first connection error closes
+// the whole transport and every blocked operation returns ErrClosed. With
+// SetPeerIsolation(true) — the fault-tolerant session mode — a connection
+// error instead marks only that peer down: sends toward it return
+// ErrPeerDown, PeerDowns reports it, and the rest of the mesh keeps running
+// so the session layer can re-plan onto the survivors.
 type TCP struct {
 	rank int
 	ln   net.Listener
 
-	mu       sync.Mutex
-	conns    map[int]*tcpConn
-	connWait chan struct{} // closed and remade on each registration
-	edges    map[EdgeID]*edgeSlot
-	groups   map[int]*groupSlot
-	err      error
+	mu         sync.Mutex
+	conns      map[int]*tcpConn
+	connWait   chan struct{} // closed and remade on each registration or peer-down
+	edges      map[EdgeID]*edgeSlot
+	groups     map[int]*groupSlot
+	err        error
+	isolate    bool
+	downs      map[int]error
+	downWait   chan struct{} // closed and remade when the down set grows
+	epochFloor uint32
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -89,6 +110,8 @@ func newTCP() *TCP {
 		connWait: make(chan struct{}),
 		edges:    make(map[EdgeID]*edgeSlot),
 		groups:   make(map[int]*groupSlot),
+		downs:    make(map[int]error),
+		downWait: make(chan struct{}),
 		closed:   make(chan struct{}),
 		ctrl:     make(chan CtrlMsg, 64),
 		tens:     make(chan TensorMsg, 256),
@@ -140,6 +163,148 @@ func (t *TCP) Ctrl() <-chan CtrlMsg { return t.ctrl }
 // Tensors returns the merged out-of-band tensor inbox.
 func (t *TCP) Tensors() <-chan TensorMsg { return t.tens }
 
+// SetPeerIsolation switches the transport's failure semantics: on, a
+// connection error downs only that peer (see PeerDowns); off (the default),
+// it fails the whole transport. Fault-tolerant sessions enable isolation on
+// every rank so the mesh survives a worker's death.
+func (t *TCP) SetPeerIsolation(on bool) {
+	t.mu.Lock()
+	t.isolate = on
+	t.mu.Unlock()
+}
+
+// SendHeartbeat sends one liveness keep-alive frame to peer. Any received
+// frame refreshes the peer's last-heard clock; heartbeats exist so an idle
+// mesh still carries liveness evidence.
+func (t *TCP) SendHeartbeat(peer int) error {
+	return t.enqueue(peer, outFrame{h: Header{Type: FrameHeartbeat}})
+}
+
+// LastHeard returns the time the last frame arrived from peer (the
+// connection time before any traffic). ok is false when no live connection
+// to peer exists.
+func (t *TCP) LastHeard(peer int) (last time.Time, ok bool) {
+	t.mu.Lock()
+	c, live := t.conns[peer]
+	t.mu.Unlock()
+	if !live {
+		return time.Time{}, false
+	}
+	return time.Unix(0, c.lastHeard.Load()), true
+}
+
+// Peers returns the ranks with a live connection, ascending — the liveness
+// plane's watch list.
+func (t *TCP) Peers() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ranks := make([]int, 0, len(t.conns))
+	for r := range t.conns {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// PeerDowns returns the ranks marked down under peer isolation (ascending)
+// and a channel closed the next time the set grows, so liveness waits can
+// select on membership changes instead of polling.
+func (t *TCP) PeerDowns() ([]int, <-chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ranks := make([]int, 0, len(t.downs))
+	for r := range t.downs {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks, t.downWait
+}
+
+// DownErr returns the error that downed rank, or nil while it is live.
+func (t *TCP) DownErr(rank int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.downs[rank]
+}
+
+// ClosePeer forcibly disconnects rank for the given reason — the liveness
+// monitor's verdict on a rank whose heartbeats stopped. Under peer isolation
+// the rank is marked down and the rest of the mesh survives; otherwise the
+// whole transport fails, preserving fail-stop semantics.
+func (t *TCP) ClosePeer(rank int, reason error) {
+	t.mu.Lock()
+	isolate := t.isolate
+	t.mu.Unlock()
+	if isolate {
+		t.peerDown(rank, reason)
+		return
+	}
+	t.fail(reason)
+}
+
+// peerDown marks rank down: its connection is closed and removed, blocked
+// sends toward it unblock with ErrPeerDown, and both the registration and
+// down-set latches fire. Idempotent per rank.
+func (t *TCP) peerDown(rank int, err error) {
+	t.mu.Lock()
+	if _, dup := t.downs[rank]; dup {
+		t.mu.Unlock()
+		return
+	}
+	t.downs[rank] = err
+	c, live := t.conns[rank]
+	delete(t.conns, rank)
+	close(t.connWait)
+	t.connWait = make(chan struct{})
+	close(t.downWait)
+	t.downWait = make(chan struct{})
+	t.mu.Unlock()
+	if live {
+		c.nc.Close()
+		close(c.dead)
+	}
+}
+
+// connFail routes a connection pump's error: to the single peer under
+// isolation, to the whole transport otherwise.
+func (t *TCP) connFail(c *tcpConn, err error) {
+	t.mu.Lock()
+	isolate := t.isolate
+	t.mu.Unlock()
+	if isolate {
+		t.peerDown(c.peer, err)
+		return
+	}
+	t.fail(err)
+}
+
+// Retire ends the current session generation's data-plane state: every open
+// edge and group generation is torn down (their blocked operations return
+// ErrClosed, held deliveries are dropped) and frames of generations below
+// floor are discarded on arrival instead of held. Survivor re-planning calls
+// Retire with the new session generation's epoch floor before rebuilding
+// executors, so in-flight traffic from the torn step can neither corrupt nor
+// deadlock the rebuilt pipeline; all ranks must use the same floor.
+func (t *TCP) Retire(floor uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if floor > t.epochFloor {
+		t.epochFloor = floor
+	}
+	for _, sl := range t.edges {
+		if sl.st != nil {
+			close(sl.st.dead)
+			sl.st = nil
+		}
+	}
+	for _, sl := range t.groups {
+		if sl.g != nil {
+			close(sl.g.dead)
+			sl.g = nil
+		}
+	}
+}
+
 // Dial connects to the peer rank at addr, sends the HELLO frame and starts
 // the connection's pumps.
 func (t *TCP) Dial(ctx context.Context, peer int, addr string) error {
@@ -148,7 +313,7 @@ func (t *TCP) Dial(ctx context.Context, peer int, addr string) error {
 	if err != nil {
 		return err
 	}
-	c := &tcpConn{t: t, peer: peer, nc: nc, out: make(chan outFrame, 128)}
+	c := newTCPConn(t, peer, nc, nil)
 	if err := t.register(c); err != nil {
 		nc.Close()
 		return err
@@ -162,9 +327,16 @@ func (t *TCP) Dial(ctx context.Context, peer int, addr string) error {
 
 // DialRetry is Dial retried every 200ms until ctx expires, for concurrent
 // mesh bring-up: a peer's listener may not be up yet when this process
-// starts, so connection-refused is a wait, not a failure. Returns the last
-// dial error when ctx runs out.
+// starts, so connection-refused is a wait, not a failure. The retry window
+// is always bounded: a ctx without a deadline is capped at a package default
+// (2 minutes), so a peer that never comes up fails the dial instead of
+// retrying forever. Returns the last dial error when the window runs out.
 func (t *TCP) DialRetry(ctx context.Context, peer int, addr string) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, defaultDialRetryLimit)
+		defer cancel()
+	}
 	for {
 		err := t.Dial(ctx, peer, addr)
 		if err == nil {
@@ -172,7 +344,7 @@ func (t *TCP) DialRetry(ctx context.Context, peer int, addr string) error {
 		}
 		select {
 		case <-ctx.Done():
-			return err
+			return fmt.Errorf("transport: dial rank %d at %s: gave up: %w: last error: %w", peer, addr, ctx.Err(), err)
 		case <-time.After(200 * time.Millisecond):
 		}
 	}
@@ -206,7 +378,7 @@ func (t *TCP) handshake(nc net.Conn) {
 		nc.Close()
 		return
 	}
-	c := &tcpConn{t: t, peer: int(h.A), nc: nc, fr: fr, out: make(chan outFrame, 128)}
+	c := newTCPConn(t, int(h.A), nc, fr)
 	if err := t.register(c); err != nil {
 		nc.Close()
 		return
@@ -214,12 +386,17 @@ func (t *TCP) handshake(nc net.Conn) {
 	c.start()
 }
 
-// register adds a connection to the peer table and wakes WaitPeers.
+// register adds a connection to the peer table and wakes WaitPeers. Ranks
+// already marked down are rejected: a failed rank cannot rejoin a session
+// (recovery re-plans around it instead).
 func (t *TCP) register(c *tcpConn) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
 		return t.err
+	}
+	if err, down := t.downs[c.peer]; down {
+		return fmt.Errorf("%w: rank %d cannot rejoin: %v", ErrPeerDown, c.peer, err)
 	}
 	if _, dup := t.conns[c.peer]; dup {
 		return fmt.Errorf("transport: duplicate connection from rank %d", c.peer)
@@ -230,19 +407,27 @@ func (t *TCP) register(c *tcpConn) error {
 	return nil
 }
 
-// WaitPeers blocks until a connection to every listed rank exists.
+// WaitPeers blocks until a connection to every listed rank exists; a listed
+// rank going down while waiting fails the wait.
 func (t *TCP) WaitPeers(ctx context.Context, peers []int) error {
 	for {
 		t.mu.Lock()
 		missing := false
+		var downErr error
 		for _, p := range peers {
 			if _, ok := t.conns[p]; !ok {
 				missing = true
+				if err, down := t.downs[p]; down {
+					downErr = fmt.Errorf("%w: rank %d: %v", ErrPeerDown, p, err)
+				}
 				break
 			}
 		}
 		wait := t.connWait
 		t.mu.Unlock()
+		if downErr != nil {
+			return downErr
+		}
 		if !missing {
 			return nil
 		}
@@ -263,6 +448,9 @@ func (t *TCP) conn(peer int) (*tcpConn, error) {
 	if t.err != nil {
 		return nil, t.err
 	}
+	if err, down := t.downs[peer]; down {
+		return nil, fmt.Errorf("%w: rank %d: %v", ErrPeerDown, peer, err)
+	}
 	c, ok := t.conns[peer]
 	if !ok {
 		return nil, fmt.Errorf("transport: no connection to rank %d", peer)
@@ -270,7 +458,9 @@ func (t *TCP) conn(peer int) (*tcpConn, error) {
 	return c, nil
 }
 
-// enqueue hands a frame to peer's writer pump.
+// enqueue hands a frame to peer's writer pump. A peer going down mid-wait
+// unblocks the send with ErrPeerDown, so a full queue toward a hung rank
+// can never wedge the caller past the liveness monitor's verdict.
 func (t *TCP) enqueue(peer int, f outFrame) error {
 	c, err := t.conn(peer)
 	if err != nil {
@@ -279,6 +469,8 @@ func (t *TCP) enqueue(peer int, f outFrame) error {
 	select {
 	case c.out <- f:
 		return nil
+	case <-c.dead:
+		return fmt.Errorf("%w: rank %d", ErrPeerDown, c.peer)
 	case <-t.closed:
 		return t.closeErr()
 	}
@@ -378,11 +570,21 @@ type outFrame struct {
 
 // tcpConn is one peer connection with its pumps.
 type tcpConn struct {
-	t    *TCP
-	peer int
-	nc   net.Conn
-	fr   *FrameReader // pre-created by handshake (it already read HELLO)
-	out  chan outFrame
+	t         *TCP
+	peer      int
+	nc        net.Conn
+	fr        *FrameReader // pre-created by handshake (it already read HELLO)
+	out       chan outFrame
+	dead      chan struct{} // closed when this peer is marked down
+	lastHeard atomic.Int64  // unix nanos of the last frame read
+}
+
+// newTCPConn builds one peer connection's state; fr is non-nil on the accept
+// side (the handshake already read HELLO from it).
+func newTCPConn(t *TCP, peer int, nc net.Conn, fr *FrameReader) *tcpConn {
+	c := &tcpConn{t: t, peer: peer, nc: nc, fr: fr, out: make(chan outFrame, 128), dead: make(chan struct{})}
+	c.lastHeard.Store(time.Now().UnixNano())
+	return c
 }
 
 // start launches the connection's reader and writer pumps.
@@ -429,17 +631,19 @@ func (c *tcpConn) writeLoop() {
 				}
 			}
 			if err != nil {
-				c.t.fail(err)
+				c.t.connFail(c, err)
 				return
 			}
 			c.t.framesSent.Add(1)
 			c.t.bytesSent.Add(int64(HeaderSize) + int64(n))
 			if len(c.out) == 0 {
 				if err := fw.Flush(); err != nil {
-					c.t.fail(err)
+					c.t.connFail(c, err)
 					return
 				}
 			}
+		case <-c.dead:
+			return
 		case <-c.t.closed:
 			return
 		}
@@ -456,11 +660,13 @@ func (c *tcpConn) readLoop() {
 		if err != nil {
 			select {
 			case <-t.closed:
+			case <-c.dead:
 			default:
-				t.fail(fmt.Errorf("transport: read from rank %d: %w", c.peer, err))
+				t.connFail(c, fmt.Errorf("transport: read from rank %d: %w", c.peer, err))
 			}
 			return
 		}
+		c.lastHeard.Store(time.Now().UnixNano())
 		t.framesRecv.Add(1)
 		t.bytesRecv.Add(int64(HeaderSize) + int64(h.N))
 		switch h.Type {
@@ -486,14 +692,17 @@ func (c *tcpConn) readLoop() {
 			err = t.deliverData(c.fr, h)
 		case FrameGroup:
 			err = t.deliverGroup(c.fr, h)
+		case FrameHeartbeat:
+			// Pure liveness traffic: the lastHeard store above is the payload.
 		default:
 			err = fmt.Errorf("transport: unexpected frame type %d from rank %d", h.Type, c.peer)
 		}
 		if err != nil {
 			select {
 			case <-t.closed:
+			case <-c.dead:
 			default:
-				t.fail(err)
+				t.connFail(c, err)
 			}
 			return
 		}
@@ -505,6 +714,7 @@ func (c *tcpConn) readLoop() {
 // generation arrives.
 type edgeSlot struct {
 	st     *edgeState
+	last   uint32        // highest epoch ever opened for this id (survives Retire)
 	opened chan struct{} // closed and remade on each OpenEdge
 }
 
@@ -532,13 +742,19 @@ func (t *TCP) edgeSlotFor(id EdgeID) *edgeSlot {
 // micro-batch geometry change) retires the previous generation: its held
 // frames are dropped and in-flight frames for the new generation are held
 // until this open. Both endpoints must open the same id once per geometry.
+// After Retire(floor) the next generation starts at floor, so surviving
+// ranks rebuilt with the same floor agree on epochs regardless of how many
+// geometries each edge saw before the failure.
 func (t *TCP) OpenEdge(id EdgeID, peer, cap int) (Edge, error) {
 	sl := t.edgeSlotFor(id)
 	t.mu.Lock()
-	var epoch uint32 = 1
+	epoch := sl.last + 1
+	if epoch < t.epochFloor {
+		epoch = t.epochFloor
+	}
+	sl.last = epoch
 	if sl.st != nil {
 		close(sl.st.dead)
-		epoch = sl.st.epoch + 1
 	}
 	sl.st = &edgeState{
 		epoch: epoch,
@@ -553,7 +769,8 @@ func (t *TCP) OpenEdge(id EdgeID, peer, cap int) (Edge, error) {
 	return &tcpEdge{t: t, peer: peer, id: id, st: st, sfree: make(chan *tensor.Matrix, cap)}, nil
 }
 
-// deliverData routes one edge frame: stale-generation frames are discarded,
+// deliverData routes one edge frame: stale-generation frames (below the
+// current generation or below the session's epoch floor) are discarded,
 // frames for a generation not yet opened locally wait at the head of the
 // stream (backpressuring the connection until the local endpoint catches
 // up), current-generation frames are read into a recycled buffer and
@@ -565,7 +782,14 @@ func (t *TCP) deliverData(fr *FrameReader, h Header) error {
 		t.mu.Lock()
 		st := sl.st
 		wait := sl.opened
+		floor := t.epochFloor
 		t.mu.Unlock()
+		if h.Epoch < floor {
+			// A retired session generation's leftover: drop it even when no
+			// live generation exists, or the dead traffic would wedge the
+			// stream waiting for an open that never comes.
+			return fr.Discard(h.N)
+		}
 		if st == nil || st.epoch < h.Epoch {
 			select {
 			case <-wait:
@@ -646,7 +870,8 @@ func (e *tcpEdge) Recv(abort <-chan struct{}) (Msg, error) {
 // groupSlot is the demux entry of one collective group id.
 type groupSlot struct {
 	g      *tcpGroup
-	opened chan struct{}
+	last   uint32        // highest epoch ever opened for this id (survives Retire)
+	opened chan struct{} // closed and remade on each OpenGroup
 }
 
 // groupSlotFor returns (creating if needed) the demux slot of gid.
@@ -663,9 +888,12 @@ func (t *TCP) groupSlotFor(gid int) *groupSlot {
 
 // OpenGroup opens collective group gid over the member ranks (which must
 // include this transport's rank) for size-element vectors. Groups are
-// geometry-independent: open once per session.
+// geometry-independent within a session generation: re-opening (after a
+// Retire, when survivors rebuild with a shrunk membership) retires the
+// previous generation exactly like OpenEdge, and all ranks rebuilt with the
+// same epoch floor agree on the new generation's epoch.
 func (t *TCP) OpenGroup(gid int, members []int, size int) (Group, error) {
-	g := &tcpGroup{t: t, id: gid, size: size, self: -1}
+	g := &tcpGroup{t: t, id: gid, size: size, self: -1, dead: make(chan struct{})}
 	g.members = append(g.members, members...)
 	for i, r := range g.members {
 		if i > 0 && g.members[i] <= g.members[i-1] {
@@ -695,34 +923,51 @@ func (t *TCP) OpenGroup(gid int, members []int, size int) (Group, error) {
 	g.vfree = make(chan []float64, n)
 	sl := t.groupSlotFor(gid)
 	t.mu.Lock()
+	epoch := sl.last + 1
+	if epoch < t.epochFloor {
+		epoch = t.epochFloor
+	}
+	sl.last = epoch
+	g.epoch = epoch
 	if sl.g != nil {
-		t.mu.Unlock()
-		return nil, fmt.Errorf("transport: group %d already open", gid)
+		close(sl.g.dead)
 	}
 	sl.g = g
 	close(sl.opened)
+	sl.opened = make(chan struct{})
 	t.mu.Unlock()
 	return g, nil
 }
 
 // deliverGroup routes one all-reduce contribution into the member's receive
 // slot. The slot token (empty/full) orders the pump's writes against the
-// consumer's reads across consecutive exchanges.
+// consumer's reads across consecutive exchanges. Generation handling mirrors
+// deliverData: stale-epoch contributions are discarded, future-epoch ones
+// wait for the local OpenGroup.
 func (t *TCP) deliverGroup(fr *FrameReader, h Header) error {
 	sl := t.groupSlotFor(int(h.A))
-	t.mu.Lock()
-	g := sl.g
-	wait := sl.opened
-	t.mu.Unlock()
-	if g == nil {
-		select {
-		case <-wait:
-			t.mu.Lock()
-			g = sl.g
-			t.mu.Unlock()
-		case <-t.closed:
-			return t.closeErr()
+	var g *tcpGroup
+	for {
+		t.mu.Lock()
+		g = sl.g
+		wait := sl.opened
+		floor := t.epochFloor
+		t.mu.Unlock()
+		if h.Epoch < floor {
+			return fr.Discard(h.N)
 		}
+		if g == nil || g.epoch < h.Epoch {
+			select {
+			case <-wait:
+				continue
+			case <-t.closed:
+				return t.closeErr()
+			}
+		}
+		if g.epoch > h.Epoch {
+			return fr.Discard(h.N)
+		}
+		break
 	}
 	idx := -1
 	for i, r := range g.members {
@@ -738,6 +983,10 @@ func (t *TCP) deliverGroup(fr *FrameReader, h Header) error {
 	}
 	select {
 	case <-g.empty[idx]:
+	case <-g.dead:
+		// The group was re-opened while this contribution waited for its
+		// slot: the exchange it belonged to died with the old generation.
+		return fr.Discard(h.N)
 	case <-t.closed:
 		return t.closeErr()
 	}
@@ -746,6 +995,7 @@ func (t *TCP) deliverGroup(fr *FrameReader, h Header) error {
 	}
 	select {
 	case g.full[idx] <- struct{}{}:
+	case <-g.dead:
 	case <-t.closed:
 		return t.closeErr()
 	}
@@ -762,8 +1012,10 @@ func (t *TCP) deliverGroup(fr *FrameReader, h Header) error {
 type tcpGroup struct {
 	t       *TCP
 	id      int
-	members []int // strictly increasing ranks, including self
-	self    int   // index of this rank in members
+	epoch   uint32        // session generation this group belongs to
+	dead    chan struct{} // closed when a newer generation replaces this one
+	members []int         // strictly increasing ranks, including self
+	self    int           // index of this rank in members
 	size    int
 
 	recv  [][]float64     // per-member contribution slots (self unused)
@@ -779,7 +1031,7 @@ func (g *tcpGroup) AllReduce(buf []float64, abort <-chan struct{}) error {
 	if len(buf) != g.size {
 		return fmt.Errorf("transport: group %d all-reduce of %d elements, want %d", g.id, len(buf), g.size)
 	}
-	h := Header{Type: FrameGroup, A: int32(g.id), B: int32(g.t.rank)}
+	h := Header{Type: FrameGroup, A: int32(g.id), B: int32(g.t.rank), Epoch: g.epoch}
 	for i, r := range g.members {
 		if i == g.self {
 			continue
@@ -805,6 +1057,8 @@ func (g *tcpGroup) AllReduce(buf []float64, abort <-chan struct{}) error {
 		case <-g.full[i]:
 		case <-abort:
 			return ErrAborted
+		case <-g.dead:
+			return ErrClosed
 		case <-g.t.closed:
 			return g.t.closeErr()
 		}
