@@ -269,7 +269,8 @@ func BenchmarkRingAllReduce(b *testing.B) {
 	}
 }
 
-// BenchmarkMatMul measures the goroutine-parallel blocked matmul.
+// BenchmarkMatMul measures the cache-blocked, pool-parallel matmul (see the
+// BenchmarkGEMM family in internal/tensor for the full kernel suite).
 func BenchmarkMatMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.New(256, 256)

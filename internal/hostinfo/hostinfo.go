@@ -1,0 +1,35 @@
+// Package hostinfo reports the execution-host facts benchmark records carry:
+// Go version, GOMAXPROCS, CPU count and CPU model. Every BENCH_*.json entry
+// embeds these so numbers from a 1-core CI container can never be confused
+// with a multi-core re-baseline of the same benchmark.
+package hostinfo
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// CPUModel returns the host CPU model string from /proc/cpuinfo, or the
+// architecture name when that is unavailable (non-Linux hosts).
+func CPUModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(rest, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+// Summary returns the one-line host description benchmark output prints and
+// BENCH_*.json records quote.
+func Summary() string {
+	return fmt.Sprintf("%s, GOMAXPROCS=%d, %d CPUs, %s",
+		runtime.Version(), runtime.GOMAXPROCS(0), runtime.NumCPU(), CPUModel())
+}

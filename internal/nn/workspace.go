@@ -126,12 +126,12 @@ type WorkspaceLayer interface {
 	BackwardWS(ws *Workspace, ctx Ctx, dy *tensor.Matrix) *tensor.Matrix
 }
 
-// ForwardWS implements WorkspaceLayer: one fused matmul+bias into a pooled
-// buffer, stashing x itself instead of a clone.
+// ForwardWS implements WorkspaceLayer: one fused matmul+bias kernel into a
+// pooled buffer (the bias rides the matmul's output pass), stashing x itself
+// instead of a clone.
 func (d *Dense) ForwardWS(ws *Workspace, x *tensor.Matrix) (*tensor.Matrix, Ctx) {
 	y := ws.Get(x.Rows, d.W.Cols)
-	tensor.MatMulInto(y, x, d.W)
-	tensor.AddRowVecInto(y, y, d.B.Data)
+	tensor.MatMulAddRowVecInto(y, x, d.W, d.B.Data)
 	return y, x
 }
 
@@ -238,9 +238,28 @@ func (r *WSRun) reset() {
 // state. The returned output is owned by run — it stays valid until
 // BackwardWS or DiscardWS releases the run, and callers must not release it
 // separately. x must stay unmodified for the same window.
+// A Dense layer directly followed by a ReLU runs as ONE fused kernel
+// (matmul + bias + rectify + mask in a single output pass): the pre-ReLU
+// activation is never materialized — backward needs only the Dense input and
+// the ReLU mask — so the pair costs one pooled buffer instead of two and a
+// third of the memory traffic. The fused pair still appends one context per
+// layer, keeping BackwardWS's layer-indexed context walk unchanged.
 func (n *Network) ForwardWS(ws *Workspace, x *tensor.Matrix, run *WSRun) *tensor.Matrix {
 	run.reset()
-	for _, l := range n.Layers {
+	for i := 0; i < len(n.Layers); i++ {
+		l := n.Layers[i]
+		if d, ok := l.(*Dense); ok && i+1 < len(n.Layers) {
+			if _, isReLU := n.Layers[i+1].(ReLU); isReLU {
+				y := ws.Get(x.Rows, d.W.Cols)
+				mask := ws.GetMask(len(y.Data))
+				tensor.MatMulBiasReLUInto(y, x, d.W, d.B.Data, mask.Bits)
+				run.ctxs = append(run.ctxs, x, mask)
+				run.owned = append(run.owned, y)
+				x = y
+				i++
+				continue
+			}
+		}
 		var y *tensor.Matrix
 		var c Ctx
 		if wl, ok := l.(WorkspaceLayer); ok {

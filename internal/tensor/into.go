@@ -19,8 +19,7 @@ func MatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul out %dx%d for %dx%d result", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	out.Zero()
-	mulInto(out, a, b)
+	gemm(gemmNN, out, a, b, false, nil, nil)
 }
 
 // MatMulATBAddInto accumulates out += aᵀ @ b — the weight-gradient kernel
@@ -34,20 +33,7 @@ func MatMulATBAddInto(out, a, b *Matrix) {
 	if out.Rows != a.Cols || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulATB out %dx%d for %dx%d result", out.Rows, out.Cols, a.Cols, b.Cols))
 	}
-	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		ar := a.Row(r)
-		br := b.Row(r)
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
-			or := out.Data[i*n : (i+1)*n]
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
-	}
+	gemm(gemmTN, out, a, b, true, nil, nil)
 }
 
 // MatMulABTInto computes out = a @ bᵀ into the preallocated out, overwriting
@@ -60,18 +46,48 @@ func MatMulABTInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulABT out %dx%d for %dx%d result", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
-		or := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			br := b.Row(j)
-			var s float64
-			for k, av := range ar {
-				s += av * br[k]
-			}
-			or[j] = s
-		}
+	gemm(gemmNT, out, a, b, false, nil, nil)
+}
+
+// MatMulAddRowVecInto computes out = a @ b with bias (len b.Cols) added to
+// every row, fused into the kernel's output pass — the Dense-forward kernel,
+// replacing the two-pass MatMulInto + AddRowVecInto sequence. The bias add
+// happens once per element after its full k accumulation, so the result is
+// bit-identical to the unfused sequence.
+func MatMulAddRowVecInto(out, a, b *Matrix, bias []float64) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul out %dx%d for %dx%d result", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	if len(bias) != b.Cols {
+		panic(fmt.Sprintf("tensor: row vec %d for %d cols", len(bias), b.Cols))
+	}
+	gemm(gemmNN, out, a, b, false, bias, nil)
+}
+
+// MatMulBiasReLUInto computes out = relu(a @ b + bias) and records the ReLU
+// pass-through pattern in maskBits — bit i*out.Cols+j set when the pre-ReLU
+// element was positive, matching nn's ReLU mask layout. maskBits must hold
+// ceil(out elements / 64) zeroed words; bits are only ever set (concurrent
+// tiles OR disjoint bits), never cleared. This is the fused Dense+ReLU
+// forward: one pass over the output instead of three plus an intermediate
+// activation buffer.
+func MatMulBiasReLUInto(out, a, b *Matrix, bias []float64, maskBits []uint64) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul out %dx%d for %dx%d result", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	if len(bias) != b.Cols {
+		panic(fmt.Sprintf("tensor: row vec %d for %d cols", len(bias), b.Cols))
+	}
+	if want := (a.Rows*b.Cols + 63) / 64; len(maskBits) < want {
+		panic(fmt.Sprintf("tensor: relu mask %d words for %d elements", len(maskBits), a.Rows*b.Cols))
+	}
+	gemm(gemmNN, out, a, b, false, bias, maskBits)
 }
 
 // AddRowVecInto computes dst = src with vector v (len Cols) added to every

@@ -1,0 +1,7 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-budget gates skip under it (instrumentation skews counts).
+const raceEnabled = true

@@ -1,0 +1,104 @@
+package tensor
+
+// This file holds the retained scalar reference kernels: the executable
+// specification of what every GEMM variant computes, down to the bit.
+//
+// The contract all fast paths (small unrolled kernels, the blocked core,
+// pool-parallel tiles) must honor is simple:
+//
+//	each output element is produced by ONE accumulation chain that adds
+//	a·b products in strictly increasing k order, seeded with 0 (overwrite)
+//	or the prior out value (accumulate), using fmadd for every step.
+//
+// Because float addition is deterministic for a fixed operand sequence,
+// any implementation that preserves that per-element chain — regardless of
+// tiling, packing, register blocking, or which worker runs which tile — is
+// bit-identical to these loops. Property tests in block_test.go pin that.
+
+// gemmKind selects which of the three operand layouts a GEMM computes.
+type gemmKind uint8
+
+const (
+	// gemmNN computes out = a @ b.
+	gemmNN gemmKind = iota
+	// gemmTN computes out = aᵀ @ b (weight gradients).
+	gemmTN
+	// gemmNT computes out = a @ bᵀ (input gradients).
+	gemmNT
+)
+
+// gemmDims returns the logical (m, n, k) of a kind's product.
+func gemmDims(kind gemmKind, a, b *Matrix) (m, n, k int) {
+	switch kind {
+	case gemmNN:
+		return a.Rows, b.Cols, a.Cols
+	case gemmTN:
+		return a.Cols, b.Cols, a.Rows
+	default: // gemmNT
+		return a.Rows, b.Rows, a.Cols
+	}
+}
+
+// refGemm is the scalar oracle: a plain ijk dot loop over the logical
+// operands, one in-order accumulation chain per output element.
+func refGemm(kind gemmKind, out, a, b *Matrix, accumulate bool) {
+	m, n, k := gemmDims(kind, a, b)
+	for i := 0; i < m; i++ {
+		or := out.Row(i)[:n]
+		for j := 0; j < n; j++ {
+			var acc float64
+			if accumulate {
+				acc = or[j]
+			}
+			for kk := 0; kk < k; kk++ {
+				var av, bv float64
+				switch kind {
+				case gemmNN:
+					av, bv = a.Data[i*a.Cols+kk], b.Data[kk*b.Cols+j]
+				case gemmTN:
+					av, bv = a.Data[kk*a.Cols+i], b.Data[kk*b.Cols+j]
+				default: // gemmNT
+					av, bv = a.Data[i*a.Cols+kk], b.Data[j*b.Cols+kk]
+				}
+				acc = fmadd(av, bv, acc)
+			}
+			or[j] = acc
+		}
+	}
+}
+
+// MatMulZeroSkipInto computes out = a @ b with the legacy sparse-aware inner
+// loop: rows of b whose matching a element is exactly zero are skipped
+// entirely. For inputs where a is substantially sparse (e.g. activations
+// behind a ReLU) this trades a branch per a element for skipping whole
+// row-updates; for dense inputs the branch only pessimizes the hot loop,
+// which is why the dense kernels no longer carry it (BenchmarkGEMMZeroSkip
+// records the delta both ways).
+//
+// The skip makes results bit-different from the dense path in edge cases
+// (signed zeros, a zero times an infinity or NaN), so this entry point is
+// opt-in for callers that know a is sparse and finite — it is not used by
+// the training runtime.
+func MatMulZeroSkipInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(shapeErr("matmul", a, b))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(shapeErr("matmul out", out, &Matrix{Rows: a.Rows, Cols: b.Cols}))
+	}
+	out.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		or := out.Row(i)
+		ar := a.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Data[k*n : (k+1)*n]
+			for j, bv := range br {
+				or[j] = fmadd(av, bv, or[j])
+			}
+		}
+	}
+}

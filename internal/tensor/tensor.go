@@ -1,6 +1,11 @@
 // Package tensor implements the dense float64 matrix math the real training
-// runtime (package train) executes: allocation-conscious matrix operations
-// with a goroutine-parallel blocked matmul for larger shapes.
+// runtime (package train) executes. All GEMM variants (plain, aᵀ@b, a@bᵀ,
+// and their into/fused-accumulate forms) route through one cache-blocked,
+// register-tiled core (block.go) that fans large products out over a
+// persistent shared worker pool (parallel.go). Work is partitioned by
+// disjoint output tiles with a fixed k-accumulation order, so results are
+// bit-identical for any worker count — the repo's determinism tests depend
+// on that.
 //
 // float64 is deliberate: the runtime's purpose is to prove schedule
 // equivalence (DAPPLE's pipelined gradients match sequential execution), and
@@ -10,8 +15,6 @@ package tensor
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major matrix.
@@ -176,66 +179,14 @@ func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
 	}
 }
 
-// parallelThreshold is the FLOP count above which matmul fans out.
-const parallelThreshold = 1 << 18
-
 // MatMul returns a @ b.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	mulInto(out, a, b)
+	gemm(gemmNN, out, a, b, false, nil, nil)
 	return out
-}
-
-// mulInto computes out += aRows of a times b, parallelizing over row bands.
-func mulInto(out, a, b *Matrix) {
-	work := a.Rows * a.Cols * b.Cols
-	bands := 1
-	if work >= parallelThreshold {
-		bands = runtime.GOMAXPROCS(0)
-		if bands > a.Rows {
-			bands = a.Rows
-		}
-	}
-	if bands <= 1 {
-		mulBand(out, a, b, 0, a.Rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + bands - 1) / bands
-	for lo := 0; lo < a.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulBand(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// mulBand computes rows [lo, hi) of out = a @ b with an ikj loop ordering
-// that streams b rows sequentially.
-func mulBand(out, a, b *Matrix, lo, hi int) {
-	n := b.Cols
-	for i := lo; i < hi; i++ {
-		or := out.Row(i)
-		ar := a.Row(i)
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Data[k*n : (k+1)*n]
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
-	}
 }
 
 // MatMulATB returns aᵀ @ b (used for weight gradients).
@@ -244,20 +195,7 @@ func MatMulATB(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulATB %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		ar := a.Row(r)
-		br := b.Row(r)
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
-			or := out.Data[i*n : (i+1)*n]
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
-	}
+	gemm(gemmTN, out, a, b, false, nil, nil)
 	return out
 }
 
@@ -267,18 +205,7 @@ func MatMulABT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulABT %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
-		or := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			br := b.Row(j)
-			var s float64
-			for k, av := range ar {
-				s += av * br[k]
-			}
-			or[j] = s
-		}
-	}
+	gemm(gemmNT, out, a, b, false, nil, nil)
 	return out
 }
 

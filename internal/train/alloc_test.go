@@ -3,7 +3,11 @@ package train
 import (
 	"testing"
 
+	"dapple/internal/core"
+	"dapple/internal/hardware"
+	"dapple/internal/nn"
 	"dapple/internal/schedule"
+	"dapple/internal/tensor"
 )
 
 // stepAllocBudget is the steady-state allocation ceiling per executed
@@ -48,6 +52,58 @@ func TestStepSteadyStateAllocBudget(t *testing.T) {
 			t.Logf("steady-state step: %.0f allocs (budget %d)", allocs, stepAllocBudget)
 		})
 	}
+}
+
+// TestStepWideLayerAllocBudget is the same gate with layers wide enough that
+// every Dense matmul crosses the blocked-kernel threshold and fans out over
+// the shared worker pool. Before the pool, each large matmul spawned a
+// goroutine fan-out per call, silently adding allocs/op; now parallel
+// dispatch recycles everything, so wide-layer steps obey the same budget.
+func TestStepWideLayerAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	prev := tensor.SetWorkers(4)
+	defer tensor.SetWorkers(prev)
+
+	master := nn.MLP([]int{64, 512, 512, 8}, 42) // 5 layers
+	const rows, m, inDim = 64, 4, 64
+	mod, err := ProfileNetwork("wide-net", master, inDim, rows, rows*m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Plan{
+		Model:   mod,
+		Cluster: hardware.ConfigB(4),
+		Stages: []core.Stage{
+			{Lo: 0, Hi: 2, Devices: []hardware.DeviceID{0, 1}},
+			{Lo: 2, Hi: 5, Devices: []hardware.DeviceID{2, 3}},
+		},
+		GBS: rows * m, MicroBatch: rows,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(p, master, func() nn.Optimizer { return nn.SGD{LR: 0.01} },
+		ExecOptions{Policy: schedule.DapplePA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	micros := makeMicros(m, rows, inDim, 8, 13)
+	for i := 0; i < 3; i++ {
+		if _, err := ex.Step(micros); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ex.Step(micros); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > stepAllocBudget {
+		t.Fatalf("wide-layer steady-state step allocates %.0f, budget %d", allocs, stepAllocBudget)
+	}
+	t.Logf("wide-layer steady-state step: %.0f allocs (budget %d)", allocs, stepAllocBudget)
 }
 
 // TestStepGeometryChangeRebuilds checks the runtime-cache path: steps with

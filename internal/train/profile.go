@@ -132,8 +132,9 @@ func ProfileNetworkMeasuredTrace(ctx context.Context, name string, net *nn.Netwo
 	ws := nn.NewWorkspace()
 	rng := rand.New(rand.NewSource(42))
 	x0 := tensor.New(profileBatch, inDim)
-	// Non-zero calibration inputs: the matmul kernels skip zero elements, so
-	// zeros would time an unrealistically sparse pass.
+	// Non-zero calibration inputs: all-zero activations would die at the
+	// first ReLU, timing backward passes against unrealistically sparse
+	// gradients.
 	x0.Randomize(rng, 1)
 
 	nL := cal.NumLayers()
