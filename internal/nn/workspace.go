@@ -283,6 +283,18 @@ func (n *Network) ForwardWS(ws *Workspace, x *tensor.Matrix, run *WSRun) *tensor
 //	if dx != dy { ws.Put(dx) }
 //	ws.Put(dy) // if dy was workspace-leased by the caller
 func (n *Network) BackwardWS(ws *Workspace, run *WSRun, dy *tensor.Matrix) *tensor.Matrix {
+	return n.BackwardWSLayers(ws, run, dy, nil)
+}
+
+// BackwardWSLayers is BackwardWS with a per-layer gradient-readiness hook:
+// after layer i's BackwardWS returns — at which point the gradients of every
+// parameter layer i owns are fully accumulated and will not be touched again
+// this pass — onLayer(i) fires on the calling goroutine. Because backward
+// walks layers in descending index order, the hook reports readiness from
+// the network's tail toward its head, which is what lets the executor launch
+// a gradient bucket's collective while earlier layers are still computing.
+// A nil onLayer skips the hook (the plain BackwardWS path).
+func (n *Network) BackwardWSLayers(ws *Workspace, run *WSRun, dy *tensor.Matrix, onLayer func(layer int)) *tensor.Matrix {
 	orig := dy
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		l := n.Layers[i]
@@ -296,6 +308,9 @@ func (n *Network) BackwardWS(ws *Workspace, run *WSRun, dy *tensor.Matrix) *tens
 			ws.Put(dy)
 		}
 		dy = dx
+		if onLayer != nil {
+			onLayer(i)
+		}
 	}
 	for _, b := range run.owned {
 		ws.Put(b)

@@ -75,6 +75,15 @@ type gemmJob struct {
 	reluMask   []uint64
 	m, n, k    int
 	tilesN     int
+
+	// Vector-kernel dispatch (see vec.go). When vecOp is non-zero the job is
+	// an element-wise vector kernel and the gemm fields above are unused; the
+	// fields live here so parRun's by-value job copy stays allocation-free
+	// instead of forcing an interface indirection.
+	vecOp  vecKind
+	vd, vs []float64
+	alpha  float64
+	vspan  int
 }
 
 // gemm routes one GEMM variant through the direct small-shape kernels or the
@@ -100,8 +109,13 @@ func gemm(kind gemmKind, out, a, b *Matrix, accumulate bool, bias []float64, rel
 
 // runTile computes one blockMC x blockNC output tile end to end: zero (or
 // keep, when accumulating) the tile, fold in every k panel through the
-// packed micro-kernel, then apply the fused epilogues.
+// packed micro-kernel, then apply the fused epilogues. Vector-kernel jobs
+// dispatch through the same entry point so the pool protocol stays shared.
 func (g *gemmJob) runTile(t int) {
+	if g.vecOp != vecNone {
+		g.runVecSpan(t)
+		return
+	}
 	ti, tj := t/g.tilesN, t%g.tilesN
 	i0 := ti * blockMC
 	i1 := min(i0+blockMC, g.m)

@@ -124,20 +124,18 @@ func (m *Matrix) mustSameShape(o *Matrix) {
 	}
 }
 
-// Add accumulates o into m element-wise.
+// Add accumulates o into m element-wise via the shared vector-sum kernel
+// (pool-parallel for large matrices, bit-identical for any worker count).
 func (m *Matrix) Add(o *Matrix) {
 	m.mustSameShape(o)
-	for i, v := range o.Data {
-		m.Data[i] += v
-	}
+	VecAddInto(m.Data, o.Data)
 }
 
-// AXPY accumulates a*o into m.
+// AXPY accumulates a*o into m via the shared axpy kernel (fused
+// multiply-add on FMA-enabled builds, pool-parallel for large matrices).
 func (m *Matrix) AXPY(a float64, o *Matrix) {
 	m.mustSameShape(o)
-	for i, v := range o.Data {
-		m.Data[i] += a * v
-	}
+	AxpyInto(m.Data, a, o.Data)
 }
 
 // Scale multiplies every element by a.

@@ -1,0 +1,84 @@
+package tensor
+
+import "fmt"
+
+// This file holds the flat-vector reduction kernels the collective layer
+// accumulates gradients with. They ride the same persistent worker pool as
+// the blocked GEMM core (parallel.go): a vector splits into fixed-size
+// disjoint spans that become pool tasks, and because every element is
+// touched by exactly one task with exactly one fused operation, results are
+// bit-identical for any worker count — the same fixed-order argument the
+// GEMM tiles make.
+
+// vecKind selects which element-wise vector kernel a dispatch runs; vecNone
+// marks a gemmJob as a GEMM dispatch.
+type vecKind uint8
+
+const (
+	vecNone vecKind = iota
+	vecAdd          // dst[i] += src[i]
+	vecAxpy         // dst[i] = fmadd(alpha, src[i], dst[i])
+)
+
+// vecParMin is the element count below which vector kernels run on the
+// calling goroutine: under it the pool dispatch overhead outweighs the
+// memory-bound work.
+const vecParMin = 1 << 14
+
+// vecSpanLen is the task granularity of a parallel vector dispatch — big
+// enough to amortize a task claim, small enough to load-balance.
+const vecSpanLen = 1 << 12
+
+// runVecSpan executes span t of a vector job: elements
+// [t*vspan, min((t+1)*vspan, len)).
+func (g *gemmJob) runVecSpan(t int) {
+	lo := t * g.vspan
+	hi := lo + g.vspan
+	if hi > len(g.vd) {
+		hi = len(g.vd)
+	}
+	d, s := g.vd[lo:hi], g.vs[lo:hi:hi]
+	switch g.vecOp {
+	case vecAdd:
+		for i, v := range s {
+			d[i] += v
+		}
+	case vecAxpy:
+		a := g.alpha
+		for i, v := range s {
+			d[i] = fmadd(a, v, d[i])
+		}
+	}
+}
+
+// vecDispatch validates lengths and runs the kernel, inline for short
+// vectors and across the shared pool for long ones.
+func vecDispatch(op vecKind, dst, src []float64, alpha float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: vector kernel dst %d, src %d", len(dst), len(src)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	g := gemmJob{vecOp: op, vd: dst, vs: src, alpha: alpha, vspan: len(dst)}
+	if len(dst) < vecParMin {
+		g.runVecSpan(0)
+		return
+	}
+	g.vspan = vecSpanLen
+	parallelTiles(&g, (len(dst)+vecSpanLen-1)/vecSpanLen)
+}
+
+// VecAddInto accumulates src into dst element-wise (dst[i] += src[i]) — the
+// shared reduction kernel of every collective (ring, hierarchical, and the
+// TCP group sum), so in-process and cross-process all-reduce go through one
+// audited accumulation path. dst and src must have equal length and must not
+// overlap. Large vectors fan out over the kernel worker pool; results are
+// bit-identical for any worker count.
+func VecAddInto(dst, src []float64) { vecDispatch(vecAdd, dst, src, 0) }
+
+// AxpyInto accumulates alpha*src into dst (dst[i] = fmadd(alpha, src[i],
+// dst[i])) through the build-tagged fused-multiply-add helper — one rounding
+// per element on FMA-enabled builds. Same length, aliasing and determinism
+// contract as VecAddInto.
+func AxpyInto(dst []float64, alpha float64, src []float64) { vecDispatch(vecAxpy, dst, src, alpha) }

@@ -1,0 +1,109 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refVecAdd is the scalar oracle for VecAddInto.
+func refVecAdd(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// refAxpy is the scalar oracle for AxpyInto, using the same build-tagged
+// fmadd so it differs from the kernel only by span decomposition.
+func refAxpy(dst []float64, a float64, src []float64) {
+	for i, v := range src {
+		dst[i] = fmadd(a, v, dst[i])
+	}
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestVecKernelsMatchReference pins VecAddInto/AxpyInto bit-identical to the
+// single-goroutine scalar loop across sizes straddling the parallel
+// threshold and across worker counts — the determinism contract the
+// collective layer's accumulation order rests on.
+func TestVecKernelsMatchReference(t *testing.T) {
+	sizes := []int{0, 1, 7, vecSpanLen - 1, vecSpanLen, vecParMin - 1, vecParMin, vecParMin + 3, 1 << 17}
+	for _, workers := range []int{1, 2, 8} {
+		prev := SetWorkers(workers)
+		for _, n := range sizes {
+			src := randVec(n, int64(n+workers))
+			base := randVec(n, int64(2*n+workers+1))
+
+			want := append([]float64(nil), base...)
+			refVecAdd(want, src)
+			got := append([]float64(nil), base...)
+			VecAddInto(got, src)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("VecAddInto workers=%d n=%d element %d: %g want %g", workers, n, i, got[i], want[i])
+				}
+			}
+
+			const alpha = -0.731
+			want = append(want[:0:0], base...)
+			refAxpy(want, alpha, src)
+			got = append(got[:0:0], base...)
+			AxpyInto(got, alpha, src)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("AxpyInto workers=%d n=%d element %d: %g want %g", workers, n, i, got[i], want[i])
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestVecKernelLengthMismatchPanics pins the validation contract.
+func TestVecKernelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	VecAddInto(make([]float64, 3), make([]float64, 4))
+}
+
+// TestVecKernelsZeroAlloc pins the steady-state allocation contract of the
+// pooled vector dispatch: warm parallel reductions must not touch the heap.
+func TestVecKernelsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	n := vecParMin * 2
+	dst, src := randVec(n, 1), randVec(n, 2)
+	for i := 0; i < 3; i++ {
+		VecAddInto(dst, src)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		VecAddInto(dst, src)
+		AxpyInto(dst, 0.5, src)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm vector kernels allocate %.0f per run, want 0", allocs)
+	}
+}
+
+func BenchmarkVecAddInto(b *testing.B) {
+	n := 1 << 18
+	dst, src := randVec(n, 1), randVec(n, 2)
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VecAddInto(dst, src)
+	}
+}

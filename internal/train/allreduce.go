@@ -10,8 +10,11 @@ package train
 
 import (
 	"sync"
+	"time"
 
 	"dapple/internal/hardware"
+	"dapple/internal/nn"
+	"dapple/internal/tensor"
 	"dapple/internal/transport"
 )
 
@@ -105,6 +108,46 @@ type arGroup struct {
 	dist transport.Group
 	acc  []float64 // dist: local member-order reduction scratch
 	algo string
+
+	// Bucketed backward-time overlap state (empty in monolithic mode or when
+	// the stage needs no collective). Buckets are layer-aligned sub-ranges of
+	// the flattened gradient, each with its own collective instance; because
+	// every collective accumulates in canonical participant order per
+	// element, the concatenation of per-bucket sums is bit-identical to one
+	// whole-vector reduction. Bucket collectives run on a per-step comm
+	// goroutine (runComm) in arrival order, overlapping the replicas' still-
+	// running backward compute; workers block only at the step-end waitBuckets.
+	buckets     []arBucket
+	layerBucket []int         // stage-local layer -> bucket whose range starts there, else -1
+	reduceQ     chan int      // completed-bucket indices, cap len(buckets)
+	commDone    chan struct{} // closed by runComm after every bucket resolved
+	commNanos   int64         // collective busy time this step (comm goroutine only)
+}
+
+// bucketSpec is one layer-aligned gradient bucket: stage-local layers
+// [LayerLo, LayerHi) whose parameters flatten to [Off, End) of the stage's
+// gradient vector, parameter indices [PLo, PHi).
+type bucketSpec struct {
+	LayerLo, LayerHi int
+	Off, End         int
+	PLo, PHi         int
+}
+
+// arBucket is the per-step barrier-and-collective state of one bucket.
+type arBucket struct {
+	spec bucketSpec
+
+	mu      sync.Mutex
+	bufs    [][]float64 // per local replica: its gradBuf[Off:End] sub-slice
+	seen    []bool      // per local replica: reported (arrive or abandon)
+	arrived int
+	failed  bool
+	commit  bool // written by runComm before close(commDone), read after it
+
+	ring *transport.Ring
+	hier *transport.Hier
+	dist transport.Group
+	acc  []float64
 }
 
 // newARGroup returns a reusable barrier for n locally hosted replicas of
@@ -135,6 +178,135 @@ func newARGroup(n, size int, c hardware.Cluster, devs []hardware.DeviceID, dist 
 	return g
 }
 
+// defaultBucketBytes is the target flattened size of one overlap bucket when
+// ExecOptions.BucketBytes is zero — small enough that several buckets exist
+// even on modest stages (so tail-layer gradients start synchronizing while
+// head layers still compute), large enough to amortize per-bucket collective
+// setup.
+const defaultBucketBytes = 16 << 10
+
+// maxBuckets bounds the per-stage bucket count so huge stages with tiny
+// BucketBytes settings cannot explode the number of collective instances
+// (and, across worker processes, transport groups).
+const maxBuckets = 64
+
+// bucketLayout partitions a stage network's gradient vector into layer-
+// aligned buckets of roughly bucketBytes each, built from the tail (where
+// backward completes first) toward the head so the early-completing layers
+// form full buckets. Parameter-free layers ride along with their neighbor
+// toward the tail. Returns nil for a parameter-free stage. The specs are
+// ordered by ascending layer, so spec 0 is the head bucket — the last to
+// complete during backward.
+func bucketLayout(net *nn.Network, bucketBytes int) []bucketSpec {
+	if bucketBytes <= 0 {
+		bucketBytes = defaultBucketBytes
+	}
+	nl := len(net.Layers)
+	layerLen := make([]int, nl)
+	layerNP := make([]int, nl)
+	total := 0
+	for i, l := range net.Layers {
+		ps := l.Params()
+		layerNP[i] = len(ps)
+		for _, p := range ps {
+			layerLen[i] += len(p.G.Data)
+		}
+		total += layerLen[i]
+	}
+	if total == 0 {
+		return nil
+	}
+	target := bucketBytes / 8
+	if t := (total + maxBuckets - 1) / maxBuckets; t > target {
+		target = t
+	}
+	// Close layer ranges from the tail whenever the running size reaches the
+	// target; the head remainder becomes the final bucket (merged into its
+	// tail-ward neighbor when parameter-free).
+	var cuts []int // bucket lower layer bounds, tail-first
+	acc := 0
+	for i := nl - 1; i >= 0; i-- {
+		acc += layerLen[i]
+		if acc >= target && i > 0 {
+			cuts = append(cuts, i)
+			acc = 0
+		}
+	}
+	if acc == 0 && len(cuts) > 0 {
+		cuts = cuts[:len(cuts)-1] // head layers are parameter-free: merge
+	}
+	// Convert to ascending specs with flat and parameter offsets.
+	specs := make([]bucketSpec, 0, len(cuts)+1)
+	lo := 0
+	for b := len(cuts); b >= 0; b-- {
+		hi := nl
+		if b > 0 {
+			hi = cuts[b-1]
+		}
+		specs = append(specs, bucketSpec{LayerLo: lo, LayerHi: hi})
+		lo = hi
+	}
+	off, pi := 0, 0
+	for s := range specs {
+		sp := &specs[s]
+		sp.Off, sp.PLo = off, pi
+		for i := sp.LayerLo; i < sp.LayerHi; i++ {
+			off += layerLen[i]
+			pi += layerNP[i]
+		}
+		sp.End, sp.PHi = off, pi
+	}
+	return specs
+}
+
+// initBuckets arms the group's backward-time overlap path: one barrier and
+// collective per spec, each picked from the same topology rules as the
+// monolithic path (openDist non-nil when the stage spans worker processes;
+// it opens the cross-process exchange group of one bucket). nlayers is the
+// stage's layer count. Must be called once, right after newARGroup, before
+// any step runs.
+func (g *arGroup) initBuckets(n int, c hardware.Cluster, devs []hardware.DeviceID, nlayers int, specs []bucketSpec, openDist func(b, size int) (transport.Group, error)) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	g.buckets = make([]arBucket, len(specs))
+	g.layerBucket = make([]int, nlayers)
+	for i := range g.layerBucket {
+		g.layerBucket[i] = -1
+	}
+	g.reduceQ = make(chan int, len(specs))
+	g.commDone = make(chan struct{})
+	groups := serverGroups(c, devs)
+	for b, sp := range specs {
+		bk := &g.buckets[b]
+		bk.spec = sp
+		bk.bufs = make([][]float64, n)
+		bk.seen = make([]bool, n)
+		g.layerBucket[sp.LayerLo] = b
+		size := sp.End - sp.Off
+		if openDist != nil {
+			grp, err := openDist(b, size)
+			if err != nil {
+				return err
+			}
+			bk.dist = grp
+			bk.acc = make([]float64, size)
+			continue
+		}
+		if n > 1 {
+			if groups != nil {
+				bk.hier = transport.NewHier(groups, size)
+			} else {
+				bk.ring = transport.NewRing(n, size)
+			}
+		}
+	}
+	return nil
+}
+
+// bucketed reports whether the group synchronizes through the overlap path.
+func (g *arGroup) bucketed() bool { return len(g.buckets) > 0 }
+
 // algorithm names the collective the group selected ("none", "ring" or
 // "hierarchical").
 func (g *arGroup) algorithm() string { return g.algo }
@@ -148,11 +320,47 @@ func (g *arGroup) reset() {
 	for i := range g.bufs {
 		g.bufs[i] = nil
 	}
+	g.commNanos = 0
+	if g.bucketed() {
+		g.commDone = make(chan struct{})
+	}
+	for b := range g.buckets {
+		bk := &g.buckets[b]
+		bk.arrived = 0
+		bk.failed = false
+		bk.commit = false
+		for i := range bk.bufs {
+			bk.bufs[i] = nil
+			bk.seen[i] = false
+		}
+	}
 }
 
-// abandon is a failed replica's report: it counts as the replica's arrival
-// and vetoes the stage's commit, releasing any waiting peers.
-func (g *arGroup) abandon() {
+// abandon is failed local replica r's report: it counts as the replica's
+// arrival and vetoes the stage's commit, releasing any waiting peers. In
+// bucketed mode the veto lands on every bucket the replica has not yet
+// reported — including the head bucket it withholds until the sync point —
+// so peers' waitBuckets can never see a full commit once any local replica
+// failed.
+func (g *arGroup) abandon(r int) {
+	if g.bucketed() {
+		for b := range g.buckets {
+			bk := &g.buckets[b]
+			bk.mu.Lock()
+			enq := false
+			if !bk.seen[r] {
+				bk.seen[r] = true
+				bk.arrived++
+				bk.failed = true
+				enq = bk.arrived == len(bk.bufs)
+			}
+			bk.mu.Unlock()
+			if enq {
+				g.reduceQ <- b
+			}
+		}
+		return
+	}
 	g.mu.Lock()
 	g.arrived++
 	g.failed = true
@@ -162,6 +370,66 @@ func (g *arGroup) abandon() {
 	if last {
 		close(done)
 	}
+}
+
+// arriveBucket contributes local replica r's flattened sub-vector for bucket
+// b without blocking: the last local report hands the bucket to the comm
+// goroutine, which runs its collective while replicas keep computing.
+func (g *arGroup) arriveBucket(r, b int, buf []float64) {
+	bk := &g.buckets[b]
+	bk.mu.Lock()
+	if bk.seen[r] { // an abandoned replica raced ahead of us; keep the veto
+		bk.mu.Unlock()
+		return
+	}
+	bk.bufs[r] = buf
+	bk.seen[r] = true
+	bk.arrived++
+	last := bk.arrived == len(bk.bufs)
+	bk.mu.Unlock()
+	if last {
+		g.reduceQ <- b
+	}
+}
+
+// waitBuckets blocks until every bucket's collective resolved, reporting
+// whether ALL buckets committed — the bucketed form of arrive's return
+// value. All local replicas observe the same answer, so weight updates stay
+// all-or-nothing per stage.
+func (g *arGroup) waitBuckets() bool {
+	<-g.commDone
+	ok := true
+	for b := range g.buckets {
+		if !g.buckets[b].commit {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// runComm is the per-step collective driver of a bucketed group: it runs
+// each completed bucket's collective in arrival order — concurrently with
+// the replicas' remaining backward compute — and resolves the bucket's
+// commit. It processes every bucket exactly once per step (abandon
+// completes the buckets of failed replicas), so it always terminates, the
+// step's WaitGroup can join it, and the single commDone close releases
+// every replica blocked in waitBuckets.
+func (g *arGroup) runComm(abort <-chan struct{}) {
+	for range g.buckets {
+		b := <-g.reduceQ
+		bk := &g.buckets[b]
+		bk.mu.Lock()
+		failed := bk.failed
+		bk.mu.Unlock()
+		if !failed {
+			t0 := time.Now()
+			if reduceBufs(bk.bufs, bk.ring, bk.hier, bk.dist, bk.acc, abort) {
+				bk.commit = true
+			}
+			g.commNanos += time.Since(t0).Nanoseconds()
+		}
+	}
+	close(g.commDone)
 }
 
 // arrive contributes local replica r's buf and blocks until every local
@@ -181,8 +449,12 @@ func (g *arGroup) arrive(r int, buf []float64, abort <-chan struct{}) bool {
 	done := g.done
 	g.mu.Unlock()
 	if last {
-		if !failed && g.reduce(abort) {
-			g.commit = true // written before close(done), read after it
+		if !failed {
+			t0 := time.Now()
+			if reduceBufs(g.bufs, g.ring, g.hier, g.dist, g.acc, abort) {
+				g.commit = true // written before close(done), read after it
+			}
+			g.commNanos = time.Since(t0).Nanoseconds()
 		}
 		close(done)
 	} else {
@@ -191,31 +463,31 @@ func (g *arGroup) arrive(r int, buf []float64, abort <-chan struct{}) bool {
 	return g.commit
 }
 
-// reduce runs the selected collective over the arrived buffers, reporting
-// whether it completed.
-func (g *arGroup) reduce(abort <-chan struct{}) bool {
+// reduceBufs runs one collective over the arrived buffers — the shared body
+// of the monolithic and per-bucket paths — reporting whether it completed.
+// With dist, it is a local reduce in member order, cross-process exchange,
+// local broadcast: hierarchical with the process boundary as the server
+// boundary. The exchange sums worker contributions in rank order on every
+// rank, so the broadcast total is bit-identical everywhere. All local sums
+// go through tensor.VecAddInto — the same audited accumulation kernel the
+// in-process and TCP collectives use.
+func reduceBufs(bufs [][]float64, ring *transport.Ring, hier *transport.Hier, dist transport.Group, acc []float64, abort <-chan struct{}) bool {
 	switch {
-	case g.dist != nil:
-		// Local reduce in member order, cross-process exchange, local
-		// broadcast — hierarchical with the process boundary as the server
-		// boundary. The exchange sums worker contributions in rank order on
-		// every rank, so the broadcast total is bit-identical everywhere.
-		copy(g.acc, g.bufs[0])
-		for _, b := range g.bufs[1:] {
-			for k, v := range b {
-				g.acc[k] += v
-			}
+	case dist != nil:
+		copy(acc, bufs[0])
+		for _, b := range bufs[1:] {
+			tensor.VecAddInto(acc, b)
 		}
-		if err := g.dist.AllReduce(g.acc, abort); err != nil {
+		if err := dist.AllReduce(acc, abort); err != nil {
 			return false
 		}
-		for _, b := range g.bufs {
-			copy(b, g.acc)
+		for _, b := range bufs {
+			copy(b, acc)
 		}
-	case g.hier != nil:
-		g.hier.AllReduce(g.bufs)
-	case g.ring != nil:
-		g.ring.AllReduce(g.bufs)
+	case hier != nil:
+		hier.AllReduce(bufs)
+	case ring != nil:
+		ring.AllReduce(bufs)
 	}
 	return true
 }

@@ -129,6 +129,11 @@ type Manifest struct {
 	// Policy and Recompute mirror ExecOptions.
 	Policy    int  `json:"policy"`
 	Recompute bool `json:"recompute"`
+	// BucketBytes and MonolithicAR mirror the gradient-sync ExecOptions so
+	// every rank derives the same bucket layout (and thus the same
+	// bucket-group ids) for the cross-process all-reduce groups.
+	BucketBytes  int  `json:"bucketBytes,omitempty"`
+	MonolithicAR bool `json:"monolithicAR,omitempty"`
 	// Net is the network skeleton; Opt the shared optimizer.
 	Net []LayerSpec `json:"net"`
 	Opt OptSpec     `json:"opt"`
@@ -181,6 +186,20 @@ type envelope struct {
 	// OptStep rides on weights-done and snap-ack: the optimizer's update
 	// counter belonging to the broadcast or gathered state.
 	OptStep int `json:"optStep,omitempty"`
+	// CommS and WaitS ride on step-done: the rank's gradient-sync seconds
+	// and the portion its compute workers spent blocked on it, feeding the
+	// coordinator's overlap-efficiency aggregate.
+	CommS float64 `json:"commS,omitempty"`
+	WaitS float64 `json:"waitS,omitempty"`
+}
+
+// sum totals a per-stage seconds slice for a step-done report.
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 // NetSpec extracts the structural skeleton of a network for the manifest.
@@ -249,7 +268,9 @@ func recvEnvelope(ctx context.Context, t *transport.TCP, watch ...int) (int, env
 		select {
 		case cm := <-t.Ctrl():
 			var env envelope
-			if err := json.Unmarshal(cm.Data, &env); err != nil {
+			err := json.Unmarshal(cm.Data, &env)
+			t.RecycleCtrl(cm.Data)
+			if err != nil {
 				return cm.Peer, envelope{}, fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
 			}
 			return cm.Peer, env, nil
@@ -260,7 +281,9 @@ func recvEnvelope(ctx context.Context, t *transport.TCP, watch ...int) (int, env
 			select {
 			case cm := <-t.Ctrl():
 				var env envelope
-				if err := json.Unmarshal(cm.Data, &env); err == nil {
+				err := json.Unmarshal(cm.Data, &env)
+				t.RecycleCtrl(cm.Data)
+				if err == nil {
 					return cm.Peer, env, nil
 				}
 			default:
@@ -382,6 +405,10 @@ type Coordinator struct {
 	ckpt        *Checkpoint
 	hb          *heartbeater
 	failed      error
+
+	commS, waitS float64 // gradient-sync seconds aggregated from step-done reports
+
+	yfree chan *tensor.Matrix // recycled per-micro label staging buffers
 }
 
 // NewCoordinator performs the session handshake over an already-connected
@@ -405,6 +432,7 @@ func NewCoordinator(ctx context.Context, t *transport.TCP, p *core.Plan, master 
 	c := &Coordinator{
 		t: t, cfg: cfg, plan: p, master: master, opt: opt, eo: eo,
 		coord: workers, deviceRanks: deviceRanks,
+		yfree: make(chan *tensor.Matrix, 16),
 	}
 	for r := 0; r < workers; r++ {
 		c.alive = append(c.alive, r)
@@ -462,6 +490,7 @@ func (c *Coordinator) manifest() (*Manifest, error) {
 		Model: *c.plan.Model, Cluster: c.plan.Cluster,
 		GBS: c.plan.GBS, MicroBatch: c.plan.MicroBatch,
 		Policy: int(c.eo.Policy), Recompute: c.eo.Recompute,
+		BucketBytes: c.eo.BucketBytes, MonolithicAR: c.eo.MonolithicAllReduce,
 		Net: net, Opt: c.opt, DeviceRanks: c.deviceRanks,
 		Workers:    c.coord,
 		Ranks:      append([]int(nil), c.alive...),
@@ -477,6 +506,23 @@ func (c *Coordinator) manifest() (*Manifest, error) {
 		man.Stages = append(man.Stages, ss)
 	}
 	return man, nil
+}
+
+// OverlapEfficiency reports the fraction of gradient-sync time the session
+// hid behind backward compute, aggregated over every worker's step reports:
+// 1 - wait/comm, clamped to [0, 1]. Zero until a step has communicated.
+func (c *Coordinator) OverlapEfficiency() float64 {
+	if c.commS <= 0 {
+		return 0
+	}
+	eff := 1 - c.waitS/c.commS
+	if eff < 0 {
+		return 0
+	}
+	if eff > 1 {
+		return 1
+	}
+	return eff
 }
 
 // floor is the transport epoch floor of the current session generation.
@@ -639,7 +685,9 @@ func (c *Coordinator) tryStep(ctx context.Context, micros []Batch) (float64, err
 		select {
 		case cm := <-c.t.Ctrl():
 			var env envelope
-			if err := json.Unmarshal(cm.Data, &env); err != nil {
+			err := json.Unmarshal(cm.Data, &env)
+			c.t.RecycleCtrl(cm.Data)
+			if err != nil {
 				return 0, fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
 			}
 			switch env.Kind {
@@ -650,6 +698,8 @@ func (c *Coordinator) tryStep(ctx context.Context, micros []Batch) (float64, err
 				if pending[cm.Peer] {
 					delete(pending, cm.Peer)
 					loss += env.Loss
+					c.commS += env.CommS
+					c.waitS += env.WaitS
 				}
 			case ctrlAbort:
 				if err := c.noteAbort(cm.Peer, env); err != nil {
@@ -686,11 +736,11 @@ func (c *Coordinator) send(w, step int, micros []Batch) error {
 		if err := c.t.SendTensor(w, tensX, mb, b.X); err != nil {
 			return err
 		}
-		y := tensor.New(len(b.Y), 1)
+		y := transport.LeaseBuf(c.yfree, len(b.Y), 1)
 		for i, v := range b.Y {
 			y.Data[i] = float64(v)
 		}
-		if err := c.t.SendTensor(w, tensY, mb, y); err != nil {
+		if err := c.t.SendTensorPooled(w, tensY, mb, y, c.yfree); err != nil {
 			return err
 		}
 	}
@@ -747,12 +797,15 @@ func (c *Coordinator) snapshot(ctx context.Context) error {
 				got++
 			case tensFlush:
 				// A marker from an in-flight recovery; drop.
+				c.t.RecycleTensor(tm.Data)
 			default:
 				return fmt.Errorf("train: tensor class %d during snapshot", tm.Class)
 			}
 		case cm := <-c.t.Ctrl():
 			var env envelope
-			if err := json.Unmarshal(cm.Data, &env); err != nil {
+			err := json.Unmarshal(cm.Data, &env)
+			c.t.RecycleCtrl(cm.Data)
+			if err != nil {
 				return fmt.Errorf("train: bad control frame from rank %d: %w", cm.Peer, err)
 			}
 			switch env.Kind {
@@ -962,6 +1015,9 @@ type Worker struct {
 	dieAtStep int                 // scripted death for fault tests; -1 disables
 	flushSeen int                 // highest recovery flush marker consumed
 	hb        *heartbeater
+
+	microBuf []Batch // reused per-step micro-batch staging
+	labelBuf [][]int // reused per-micro label staging
 }
 
 // NewWorker wraps an already-connected mesh (rank set, peers dialed) as a
@@ -1145,6 +1201,7 @@ func (w *Worker) buildSession(ctx context.Context, man *Manifest) error {
 				i, tm.Data.Rows, tm.Data.Cols, params[i].W.Rows, params[i].W.Cols)
 		}
 		copy(params[i].W.Data, tm.Data.Data)
+		w.t.RecycleTensor(tm.Data)
 	}
 	nslots := man.Opt.Slots()
 	slots := make([][][]float64, nslots)
@@ -1176,6 +1233,7 @@ func (w *Worker) buildSession(ctx context.Context, man *Manifest) error {
 	}
 	exec, err := NewExecutor(p, net, factory, ExecOptions{
 		Policy: schedule.Policy(man.Policy), Recompute: man.Recompute, NoTrace: true,
+		BucketBytes: man.BucketBytes, MonolithicAllReduce: man.MonolithicAR,
 		Dist: &DistConfig{Transport: w.dataTransport(), Rank: w.rank, DeviceRanks: man.DeviceRanks},
 	})
 	if err == nil && nslots > 0 {
@@ -1303,6 +1361,7 @@ func (w *Worker) reconfig(ctx context.Context, env envelope) error {
 		if tm.Class == tensFlush {
 			w.flushSeen = tm.Index
 		}
+		w.t.RecycleTensor(tm.Data)
 	}
 	return w.buildSession(ctx, man)
 }
@@ -1316,7 +1375,7 @@ func (w *Worker) reconfig(ctx context.Context, env envelope) error {
 // and must be processed next.
 func (w *Worker) runStep(ctx context.Context, env envelope) (*envelope, error) {
 	coord := w.coordRank()
-	micros := make([]Batch, 0, env.M)
+	micros := w.microBuf[:0]
 	for mb := 0; mb < env.M; mb++ {
 		x, err := recvTensor(ctx, w.t)
 		if err != nil {
@@ -1326,6 +1385,8 @@ func (w *Worker) runStep(ctx context.Context, env envelope) (*envelope, error) {
 			// A recovery started while this step's tensors were in flight:
 			// abandon the step; the reconfig envelope is already queued.
 			w.flushSeen = x.Index
+			w.t.RecycleTensor(x.Data)
+			w.recycleMicros(micros)
 			return nil, nil
 		}
 		y, err := recvTensor(ctx, w.t)
@@ -1334,17 +1395,22 @@ func (w *Worker) runStep(ctx context.Context, env envelope) (*envelope, error) {
 		}
 		if y.Class == tensFlush {
 			w.flushSeen = y.Index
+			w.t.RecycleTensor(x.Data)
+			w.t.RecycleTensor(y.Data)
+			w.recycleMicros(micros)
 			return nil, nil
 		}
 		if x.Class != tensX || y.Class != tensY || x.Index != mb || y.Index != mb {
 			return nil, fmt.Errorf("train: step %d micro %d arrived out of order", env.Step, mb)
 		}
-		labels := make([]int, y.Data.Rows)
+		labels := w.leaseLabels(mb, y.Data.Rows)
 		for i := range labels {
 			labels[i] = int(y.Data.Data[i])
 		}
+		w.t.RecycleTensor(y.Data)
 		micros = append(micros, Batch{X: x.Data, Y: labels})
 	}
+	w.microBuf = micros[:0]
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
@@ -1360,16 +1426,24 @@ func (w *Worker) runStep(ctx context.Context, env envelope) (*envelope, error) {
 	var next *envelope
 	select {
 	case out := <-done:
+		// The executor has returned; its input leases can go back to the
+		// reader pumps.
+		w.recycleMicros(micros)
 		if out.err != nil {
 			return nil, w.stepFailed(env.Step, out.err)
 		}
-		return nil, sendEnvelope(w.t, coord, envelope{Kind: ctrlStepDone, Step: env.Step, Loss: out.res.Loss})
+		return nil, sendEnvelope(w.t, coord, envelope{
+			Kind: ctrlStepDone, Step: env.Step, Loss: out.res.Loss,
+			CommS: sum(out.res.CommSeconds), WaitS: sum(out.res.CommWaitSeconds),
+		})
 	case cm := <-w.t.Ctrl():
 		// The coordinator interrupted the step: a relayed abort, a recovery
 		// reconfig, or something unexpected (equally fatal). Cancel the
 		// local step so its workers unblock from cross-process receives.
 		var e envelope
-		if err := json.Unmarshal(cm.Data, &e); err == nil && e.Kind == ctrlReconfig {
+		err := json.Unmarshal(cm.Data, &e)
+		w.t.RecycleCtrl(cm.Data)
+		if err == nil && e.Kind == ctrlReconfig {
 			next = &e
 		} else if err == nil && e.Kind == ctrlAbort {
 			aborted = fmt.Errorf("train: session aborted by coordinator: %s", e.Err)
@@ -1383,7 +1457,28 @@ func (w *Worker) runStep(ctx context.Context, env envelope) (*envelope, error) {
 	}
 	cancel()
 	<-done // the executor must be fully quiescent before moving on
+	w.recycleMicros(micros)
 	return next, aborted
+}
+
+// leaseLabels returns micro mb's reusable label staging, grown to rows.
+func (w *Worker) leaseLabels(mb, rows int) []int {
+	for mb >= len(w.labelBuf) {
+		w.labelBuf = append(w.labelBuf, nil)
+	}
+	if cap(w.labelBuf[mb]) < rows {
+		w.labelBuf[mb] = make([]int, rows)
+	}
+	w.labelBuf[mb] = w.labelBuf[mb][:rows]
+	return w.labelBuf[mb]
+}
+
+// recycleMicros returns a torn or consumed step's input leases to the
+// transport's reader pumps.
+func (w *Worker) recycleMicros(micros []Batch) {
+	for _, b := range micros {
+		w.t.RecycleTensor(b.X)
+	}
 }
 
 // stepFailed reports an executor failure. In a survivable session the

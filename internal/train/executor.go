@@ -78,6 +78,20 @@ type ExecOptions struct {
 	// NoTrace skips span recording, for benchmarks measuring pure execution.
 	NoTrace bool
 
+	// BucketBytes caps the flattened size of one gradient bucket of the
+	// overlapped backward-time all-reduce (0 = default 16 KiB). Replicated
+	// stages partition their gradient vector into layer-aligned buckets and
+	// launch each bucket's collective as soon as its layers' backward
+	// completes on every local replica, hiding synchronization behind the
+	// remaining backward compute. Results are bit-identical to the
+	// monolithic path for every bucket size.
+	BucketBytes int
+
+	// MonolithicAllReduce disables backward-time bucketing, retaining the
+	// single post-backward collective as the oracle path the bucketed
+	// results are pinned against.
+	MonolithicAllReduce bool
+
 	// Dist, when non-nil, runs this executor as one rank of a multi-process
 	// session: only replicas placed on Dist.Rank are hosted and cross-rank
 	// traffic uses Dist.Transport. Nil (the default) hosts every replica
@@ -105,11 +119,48 @@ type ExecResult struct {
 	MaxStashBytes []int64
 	// WallTime is the wall-clock duration of the step in seconds.
 	WallTime float64
+	// CommSeconds is the per-stage busy time of the gradient collectives
+	// (the time the step's comm driver, or the monolithic last arriver,
+	// spent inside reduce), in seconds of wall clock.
+	CommSeconds []float64
+	// CommWaitSeconds is the per-stage exposed synchronization time: the
+	// max over local replicas of wall clock spent blocked at the step-end
+	// gradient sync after compute finished. With bucketing, collectives
+	// launched during backward have already run by then, so the gap between
+	// CommSeconds and CommWaitSeconds is the communication hidden behind
+	// compute.
+	CommWaitSeconds []float64
 	// Trace holds the real-execution spans in the simulator's result shape
 	// (resources "s<stage>.d<device>", task names "F<m>.s<i>", "B<m>.s<i>",
 	// "AR.s<i>"), directly comparable to a schedule.Result's spans. Nil when
 	// ExecOptions.NoTrace is set.
 	Trace *sim.Result
+}
+
+// OverlapEfficiency reports the fraction of gradient-collective busy time
+// hidden behind compute this step: 1 - sum(CommWaitSeconds)/sum(CommSeconds),
+// clamped to [0, 1]. Zero when the step ran no collectives (or hid nothing);
+// the exposed wait includes time spent waiting for straggler replicas at the
+// sync point, so a perfectly overlapped but imbalanced stage reads below 1.
+func (r *ExecResult) OverlapEfficiency() float64 {
+	var comm, wait float64
+	for _, c := range r.CommSeconds {
+		comm += c
+	}
+	for _, w := range r.CommWaitSeconds {
+		wait += w
+	}
+	if comm <= 0 {
+		return 0
+	}
+	eff := 1 - wait/comm
+	if eff < 0 {
+		return 0
+	}
+	if eff > 1 {
+		return 1
+	}
+	return eff
 }
 
 // Executor runs a planner core.Plan on a real nn.Network: every device of
@@ -195,6 +246,13 @@ type workerState struct {
 	params  []nn.Param
 	gradBuf []float64
 
+	// bwHook, set on bucketed stages, fires per layer during the final
+	// backward pass: it flattens the completed bucket's gradients into
+	// gradBuf and (except for the head bucket, withheld until the sync
+	// point as the all-or-nothing gate) reports them to the all-reduce
+	// group, launching the bucket's collective while backward continues.
+	bwHook func(layer int)
+
 	stashes []rstash         // indexed by micro-batch, len m
 	pending []*tensor.Matrix // last stage: pooled loss gradients
 	xHdrs   []tensor.Matrix  // stage 0: reusable input view headers
@@ -205,6 +263,7 @@ type workerState struct {
 	curBytes  int64
 	maxStash  int
 	maxBytes  int64
+	commWait  int64 // nanos blocked at the step-end gradient sync
 }
 
 // rstash holds one in-flight micro-batch's backward state on one replica.
@@ -291,17 +350,77 @@ func NewExecutor(p *core.Plan, master *nn.Network, optFactory func() nn.Optimize
 			// A stage whose replica group spans worker processes exchanges
 			// gradients over the mesh; the member ranks are every rank
 			// hosting one of the stage's devices.
-			var grp transport.Group
+			var ranks []int
 			if dist != nil && size > 0 {
-				ranks := stageRanks(dist, s.Devices)
-				if len(ranks) > 1 {
+				ranks = stageRanks(dist, s.Devices)
+				if len(ranks) < 2 {
+					ranks = nil
+				}
+			}
+			var specs []bucketSpec
+			var hostedNet *nn.Network
+			for r := range st.nets {
+				if st.nets[r] != nil {
+					hostedNet = st.nets[r]
+					break
+				}
+			}
+			if !opts.MonolithicAllReduce && size > 0 && st.repl > 1 {
+				specs = bucketLayout(hostedNet, opts.BucketBytes)
+			}
+			if len(specs) > 0 {
+				// Bucketed backward-time overlap: one barrier and collective
+				// per bucket, no monolithic collective. Cross-process bucket
+				// groups get their own deterministic gid encoding, disjoint
+				// from the monolithic per-stage ids, so every rank hosting
+				// the stage opens the same groups.
+				st.ar = &arGroup{bufs: make([][]float64, nlocal), done: make(chan struct{}), algo: "none"}
+				if ranks != nil {
+					st.ar.algo = "hierarchical"
+				} else if nlocal > 1 {
+					if serverGroups(p.Cluster, localDevs) != nil {
+						st.ar.algo = "hierarchical"
+					} else {
+						st.ar.algo = "ring"
+					}
+				}
+				var openDist func(b, sz int) (transport.Group, error)
+				if ranks != nil {
+					si, ranks := si, ranks
+					openDist = func(b, sz int) (transport.Group, error) {
+						return dist.Transport.OpenGroup(bucketGID(si, b), ranks, sz)
+					}
+				}
+				if err := st.ar.initBuckets(nlocal, p.Cluster, localDevs, len(hostedNet.Layers), specs, openDist); err != nil {
+					return nil, err
+				}
+				for r := range st.nets {
+					if st.work[r] == nil {
+						continue
+					}
+					w, lr, g := st.work[r], st.local[r], st.ar
+					w.bwHook = func(li int) {
+						b := g.layerBucket[li]
+						if b < 0 {
+							return
+						}
+						sp := &g.buckets[b].spec
+						flattenParamGrads(w.gradBuf[sp.Off:sp.End], w.params, sp.PLo, sp.PHi)
+						if b > 0 {
+							g.arriveBucket(lr, b, w.gradBuf[sp.Off:sp.End])
+						}
+					}
+				}
+			} else {
+				var grp transport.Group
+				if ranks != nil {
 					var err error
 					if grp, err = dist.Transport.OpenGroup(si, ranks, size); err != nil {
 						return nil, err
 					}
 				}
+				st.ar = newARGroup(nlocal, size, p.Cluster, localDevs, grp)
 			}
-			st.ar = newARGroup(nlocal, size, p.Cluster, localDevs, grp)
 		}
 		e.stages = append(e.stages, st)
 	}
@@ -591,6 +710,7 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 				continue
 			}
 			w.liveStash, w.curBytes, w.maxStash, w.maxBytes = 0, 0, 0, 0
+			w.commWait = 0
 			e.errs[i][r] = nil
 			if e.gradsDirty {
 				// A previously aborted step may have left partial gradient
@@ -614,6 +734,19 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 
 	wallStart := time.Now()
 	var wg sync.WaitGroup
+	for _, st := range e.stages {
+		if st.ar != nil && st.ar.bucketed() {
+			// The stage's per-step comm driver: runs bucket collectives in
+			// arrival order while replicas keep computing. It always drains
+			// exactly len(buckets) buckets (abandon resolves the buckets of
+			// failed replicas), so the join below cannot hang.
+			wg.Add(1)
+			go func(g *arGroup) {
+				defer wg.Done()
+				g.runComm(ss.abort)
+			}(st.ar)
+		}
+	}
 	for i, st := range e.stages {
 		for r := range st.nets {
 			w := st.work[r]
@@ -663,23 +796,29 @@ func (e *Executor) StepContext(ctx context.Context, micros []Batch) (*ExecResult
 	}
 
 	res := &ExecResult{
-		M:             m,
-		Warmup:        append([]int(nil), e.warmup...),
-		MaxStash:      make([]int, s),
-		MaxStashBytes: make([]int64, s),
-		WallTime:      wall,
+		M:               m,
+		Warmup:          append([]int(nil), e.warmup...),
+		MaxStash:        make([]int, s),
+		MaxStashBytes:   make([]int64, s),
+		CommSeconds:     make([]float64, s),
+		CommWaitSeconds: make([]float64, s),
+		WallTime:        wall,
 	}
 	for _, l := range e.lossParts {
 		res.Loss += l
 	}
 	res.Loss /= float64(m)
 	for i, st := range e.stages {
+		if st.ar != nil {
+			res.CommSeconds[i] = float64(st.ar.commNanos) / 1e9
+		}
 		for _, w := range st.work {
 			if w == nil {
 				continue
 			}
 			res.MaxStash[i] = max(res.MaxStash[i], w.maxStash)
 			res.MaxStashBytes[i] = max(res.MaxStashBytes[i], w.maxBytes)
+			res.CommWaitSeconds[i] = max(res.CommWaitSeconds[i], float64(w.commWait)/1e9)
 		}
 	}
 	if e.rec != nil {
@@ -757,24 +896,44 @@ func (e *Executor) runWorker(ss *stepState, i, r int) error {
 	w := st.work[r]
 	loss, err := e.workerCompute(ss, i, r)
 	if err != nil {
-		st.ar.abandon()
+		st.ar.abandon(st.local[r])
 		return err
 	}
 
 	// Gradient sync and weight update (Fig. 10): sum replica gradients with
 	// the stage's collective (flat ring, hierarchical, or cross-process
 	// exchange), average over micro-batches, apply identical updates per
-	// replica. arrive decides commit-or-abort atomically for the whole
+	// replica. The sync decides commit-or-abort atomically for the whole
 	// stage, so an aborted step can never leave local replicas divergent.
 	start := e.now()
-	if st.repl > 1 {
-		gradVectorInto(w.gradBuf, w.params)
-	}
-	if !st.ar.arrive(st.local[r], w.gradBuf, ss.abort) {
-		return errAborted
-	}
-	if st.repl > 1 {
+	t0 := time.Now()
+	if st.ar.bucketed() {
+		// Buckets 1.. were reported layer by layer during the final backward
+		// and their collectives have been overlapping compute; contribute the
+		// withheld head bucket — the all-clear that this replica finished the
+		// whole compute phase — and wait out whatever communication is still
+		// exposed.
+		g := st.ar
+		hb := &g.buckets[0]
+		g.arriveBucket(st.local[r], 0, w.gradBuf[hb.spec.Off:hb.spec.End])
+		commit := g.waitBuckets()
+		w.commWait = time.Since(t0).Nanoseconds()
+		if !commit {
+			return errAborted
+		}
 		setGradVector(w.params, w.gradBuf)
+	} else {
+		if st.repl > 1 {
+			gradVectorInto(w.gradBuf, w.params)
+		}
+		ok := st.ar.arrive(st.local[r], w.gradBuf, ss.abort)
+		w.commWait = time.Since(t0).Nanoseconds()
+		if !ok {
+			return errAborted
+		}
+		if st.repl > 1 {
+			setGradVector(w.params, w.gradBuf)
+		}
 	}
 	scaleGrads(w.params, 1/float64(ss.m))
 	st.opts[r].Step(w.params)
@@ -797,7 +956,8 @@ func (e *Executor) workerCompute(ss *stepState, i, r int) (float64, error) {
 	myWeight := float64(myHi-myLo) / float64(ss.rows)
 
 	var loss float64
-	for _, o := range st.order {
+	lastOp := len(st.order) - 1
+	for oi, o := range st.order {
 		if !o.Backward {
 			// ---- forward of micro-batch o.M ----
 			sh := &w.stashes[o.M]
@@ -889,7 +1049,14 @@ func (e *Executor) workerCompute(ss *stepState, i, r int) (float64, error) {
 			// re-computation to the backward task.
 			net.ForwardWS(ws, sh.in, &sh.run)
 		}
-		dx := net.BackwardWS(ws, &sh.run, dy)
+		// The schedule's final op is the last backward — the pass after which
+		// every parameter gradient has its full accumulation — so only there
+		// the per-layer hook reports bucket readiness to the all-reduce group.
+		var hook func(int)
+		if oi == lastOp {
+			hook = w.bwHook
+		}
+		dx := net.BackwardWSLayers(ws, &sh.run, dy, hook)
 		sh.live = false
 		w.liveStash--
 		w.curBytes -= sh.bytes
@@ -987,3 +1154,23 @@ func gradVectorInto(buf []float64, params []nn.Param) {
 		panic("train: gradient buffer length mismatch")
 	}
 }
+
+// flattenParamGrads flattens the gradients of params[pLo:pHi] into dst,
+// which must have exactly their total length — the per-bucket slice of
+// gradVectorInto.
+func flattenParamGrads(dst []float64, params []nn.Param, pLo, pHi int) {
+	at := 0
+	for _, p := range params[pLo:pHi] {
+		copy(dst[at:], p.G.Data)
+		at += len(p.G.Data)
+	}
+	if at != len(dst) {
+		panic("train: bucket gradient length mismatch")
+	}
+}
+
+// bucketGID deterministically encodes the transport group id of stage si's
+// bucket b, disjoint from the monolithic per-stage ids (gid = si) so every
+// rank hosting the stage opens the same groups. Stage counts are far below
+// 1024 and bucket counts are capped at maxBuckets.
+func bucketGID(si, b int) int { return (si+1)*1024 + b }

@@ -1,45 +1,86 @@
 package transport
 
-import "sync"
+import (
+	"sync"
 
-// Ring is the reusable scratch of one in-process ring all-reduce group: the
-// ring channels plus per-rank chunk transfer buffers, sized once so a
-// steady-state training iteration synchronizes gradients without
-// allocating.
-//
-// Each rank rotates through three send buffers. Three is the minimum safe
-// depth for the cap-1 ring channels: by the Go memory model, the receive of
-// message k happens-before the completion of send k+1, so by the time a rank
-// copies message j+3 into the slot message j used, its neighbor has received
-// message j+1 — which, in the neighbor's program order, is after it finished
-// reading message j. Two slots would leave the copy racing the neighbor's
-// reads.
+	"dapple/internal/tensor"
+)
+
+// This file implements the in-process collectives of the replica
+// synchronization path. Both algorithms accumulate every element in one
+// canonical participant order — rank 0, 1, ..., n-1 for Ring; member order
+// then group order for Hier — through the shared tensor.VecAddInto kernel,
+// so a sum over any sub-range of the gradient vector is bit-identical to the
+// same sub-range of a whole-vector reduction. That invariant is what lets
+// the executor bucket gradients and the collectives chunk transfers freely
+// without perturbing training results.
+
+// ringChunkTarget is the element count one pipeline chunk aims for when the
+// caller does not fix a chunk count: small enough that reduce of chunk k
+// overlaps broadcast of chunk k-1, big enough to amortize the channel hops.
+const ringChunkTarget = 4096
+
+// ringMaxChunks bounds the auto-picked pipeline depth (and the scratch a
+// Ring retains).
+const ringMaxChunks = 8
+
+// Ring is the reusable scratch of one in-process all-reduce group, organized
+// as a pipelined chain: each chunk of the vector travels rank 0 → 1 → ... →
+// n-1 accumulating every rank's contribution in rank order, then travels
+// back broadcasting the total. Chunks pipeline — while chunk k is still
+// reducing up the chain, chunk k-1 is already broadcasting down — so all
+// ranks stay busy, and per-rank traffic matches the classic rotating ring
+// (every rank sends and receives the full vector once per phase). Unlike the
+// rotating ring, whose per-chunk accumulation order depends on which rank a
+// chunk starts at, the chain order is the same for every chunk, making
+// results independent of the chunk count and bit-identical across ranks.
 type Ring struct {
-	n, size int
-	ch      []chan []float64 // ch[i] carries chunks from rank i to (i+1) mod n
-	out     [][]float64      // 3 rotating send-scratch chunks per rank
+	n, size, chunks int
+	fwd             []chan []float64 // fwd[i]: reduce traffic rank i → i+1
+	bwd             []chan []float64 // bwd[i]: broadcast traffic rank i+1 → i
+	free            chan []float64   // recycled chunk scratch, cap chunks
 }
 
-// NewRing builds scratch for n participants with size-element vectors.
-func NewRing(n, size int) *Ring {
+// NewRing builds scratch for n participants with size-element vectors,
+// auto-picking the pipeline chunk count from the vector size.
+func NewRing(n, size int) *Ring { return NewRingChunks(n, size, 0) }
+
+// NewRingChunks is NewRing with an explicit pipeline chunk count; chunks
+// < 1 auto-picks from the vector size. The result of AllReduce is
+// bit-identical for every chunk count.
+func NewRingChunks(n, size, chunks int) *Ring {
+	if chunks < 1 {
+		chunks = size / ringChunkTarget
+		if chunks < 1 {
+			chunks = 1
+		}
+		if chunks > ringMaxChunks {
+			chunks = ringMaxChunks
+		}
+	}
+	if chunks > size && size > 0 {
+		chunks = size
+	}
 	r := &Ring{
-		n: n, size: size,
-		ch:  make([]chan []float64, n),
-		out: make([][]float64, 3*n),
+		n: n, size: size, chunks: chunks,
+		fwd:  make([]chan []float64, n-1),
+		bwd:  make([]chan []float64, n-1),
+		free: make(chan []float64, chunks),
 	}
-	maxChunk := (size + n - 1) / n
-	for i := range r.ch {
-		r.ch[i] = make(chan []float64, 1)
+	for i := 0; i < n-1; i++ {
+		r.fwd[i] = make(chan []float64, 1)
+		r.bwd[i] = make(chan []float64, 1)
 	}
-	for i := range r.out {
-		r.out[i] = make([]float64, maxChunk)
+	maxChunk := (size + chunks - 1) / chunks
+	for i := 0; i < chunks; i++ {
+		r.free <- make([]float64, maxChunk)
 	}
 	return r
 }
 
-// chunk returns the [lo, hi) bounds of chunk c.
+// chunk returns the [lo, hi) bounds of pipeline chunk c.
 func (r *Ring) chunk(c int) (int, int) {
-	base, extra := r.size/r.n, r.size%r.n
+	base, extra := r.size/r.chunks, r.size%r.chunks
 	lo := c*base + min(c, extra)
 	sz := base
 	if c < extra {
@@ -48,49 +89,69 @@ func (r *Ring) chunk(c int) (int, int) {
 	return lo, lo + sz
 }
 
-// AllReduce sums bufs (len n, each size elements) in place using the
-// standard ring algorithm — n-1 reduce-scatter steps then n-1 all-gather
-// steps, each participant its own goroutine — reusing the group's channels
-// and chunk scratch. On return every buffer holds the bit-identical
-// element-wise sum. The channels are drained on return, so consecutive calls
-// may share one Ring; concurrent calls may not.
+// AllReduce sums bufs (len n, each size elements) in place. Every buffer
+// ends holding the element-wise sum accumulated in canonical rank order
+// (((buf0 + buf1) + buf2) + ...), bit-identical across ranks, chunk counts
+// and kernel worker counts. The channels and scratch drain on return, so
+// consecutive calls may share one Ring; concurrent calls may not.
 func (r *Ring) AllReduce(bufs [][]float64) {
 	n := r.n
+	if n <= 1 {
+		return
+	}
 	var wg sync.WaitGroup
-	for rank := 0; rank < n; rank++ {
+	// Rank 0 feeder: seed each chunk with rank 0's values.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for c := 0; c < r.chunks; c++ {
+			lo, hi := r.chunk(c)
+			acc := (<-r.free)[:hi-lo]
+			copy(acc, bufs[0][lo:hi])
+			r.fwd[0] <- acc
+		}
+	}()
+	// Middle ranks: fold their contribution into each passing chunk.
+	for rank := 1; rank < n-1; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			buf := bufs[rank]
-			send := r.ch[rank]
-			recv := r.ch[(rank-1+n)%n]
-
-			// Reduce-scatter: after step s, rank owns the full sum of chunk
-			// (rank+1) mod n at the end.
-			for s := 0; s < n-1; s++ {
-				c := (rank - s + n) % n
+			for c := 0; c < r.chunks; c++ {
 				lo, hi := r.chunk(c)
-				out := r.out[3*rank+s%3][:hi-lo]
-				copy(out, buf[lo:hi])
-				send <- out
-				in := <-recv
-				c2 := (rank - s - 1 + n) % n
-				lo2, _ := r.chunk(c2)
-				for i, v := range in {
-					buf[lo2+i] += v
-				}
+				acc := <-r.fwd[rank-1]
+				tensor.VecAddInto(acc, bufs[rank][lo:hi])
+				r.fwd[rank] <- acc
 			}
-			// All-gather: circulate the completed chunks.
-			for s := 0; s < n-1; s++ {
-				c := (rank + 1 - s + n) % n
+		}(rank)
+	}
+	// Turn rank n-1: final fold, keep the total, start the broadcast.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := n - 1
+		for c := 0; c < r.chunks; c++ {
+			lo, hi := r.chunk(c)
+			acc := <-r.fwd[last-1]
+			tensor.VecAddInto(acc, bufs[last][lo:hi])
+			copy(bufs[last][lo:hi], acc)
+			r.bwd[last-1] <- acc
+		}
+	}()
+	// Broadcast ranks n-2 .. 0: copy the total out, pass it on; rank 0
+	// recycles the scratch.
+	for rank := 0; rank < n-1; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for c := 0; c < r.chunks; c++ {
 				lo, hi := r.chunk(c)
-				out := r.out[3*rank+(n-1+s)%3][:hi-lo]
-				copy(out, buf[lo:hi])
-				send <- out
-				in := <-recv
-				c2 := (rank - s + n) % n
-				lo2, _ := r.chunk(c2)
-				copy(buf[lo2:lo2+len(in)], in)
+				acc := <-r.bwd[rank]
+				copy(bufs[rank][lo:hi], acc)
+				if rank > 0 {
+					r.bwd[rank-1] <- acc
+				} else {
+					r.free <- acc
+				}
 			}
 		}(rank)
 	}
@@ -103,61 +164,115 @@ func (r *Ring) AllReduce(bufs [][]float64) {
 // sums are exchanged and summed across servers, and the total is broadcast
 // back within each server — so the slow cross-server links carry one
 // vector per server instead of one per replica. Sums are taken in a fixed
-// member-then-group order, so every participant ends bit-identical.
+// member-then-group order, so every participant ends bit-identical; the
+// three phases pipeline per chunk, so the cross-server exchange of chunk k
+// overlaps the intra-server reduce of chunk k+1 and the broadcast of chunk
+// k-1.
 type Hier struct {
 	groups [][]int // participant indices per server, in replica order
 	size   int
-	total  []float64 // cross-server accumulation scratch
+	chunks int
+	total  []float64       // cross-server accumulation scratch
+	intra  []chan struct{} // per group: intra-reduce of next chunk done
+	bcast  []chan struct{} // per group: total of next chunk ready
 }
 
 // NewHier builds a hierarchical group over size-element vectors; groups
 // lists each server's participant indices.
 func NewHier(groups [][]int, size int) *Hier {
-	return &Hier{groups: groups, size: size, total: make([]float64, size)}
+	chunks := size / ringChunkTarget
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > ringMaxChunks {
+		chunks = ringMaxChunks
+	}
+	if chunks > size && size > 0 {
+		chunks = size
+	}
+	h := &Hier{
+		groups: groups, size: size, chunks: chunks,
+		total: make([]float64, size),
+		intra: make([]chan struct{}, len(groups)),
+		bcast: make([]chan struct{}, len(groups)),
+	}
+	for i := range groups {
+		h.intra[i] = make(chan struct{}, chunks)
+		h.bcast[i] = make(chan struct{}, chunks)
+	}
+	return h
 }
 
-// AllReduce sums bufs in place: intra-server reduce onto each group's first
-// member, cross-server exchange into the total scratch, intra-server
-// broadcast. Every buffer ends holding the bit-identical sum.
+// chunk returns the [lo, hi) bounds of pipeline chunk c.
+func (h *Hier) chunk(c int) (int, int) {
+	base, extra := h.size/h.chunks, h.size%h.chunks
+	lo := c*base + min(c, extra)
+	sz := base
+	if c < extra {
+		sz++
+	}
+	return lo, lo + sz
+}
+
+// AllReduce sums bufs in place: per chunk, intra-server reduce onto each
+// group's first member, cross-server exchange into the total scratch,
+// intra-server broadcast. Every buffer ends holding the bit-identical sum;
+// the channels drain on return, so consecutive calls may share one Hier.
 func (h *Hier) AllReduce(bufs [][]float64) {
-	// Phase 1: reduce each server's members onto its leader, in member
-	// order, one goroutine per server.
 	var wg sync.WaitGroup
-	for _, g := range h.groups {
+	// Intra-server reduce, one goroutine per multi-member server; singleton
+	// servers have nothing to fold, so their chunks are pre-signalled.
+	for gi, g := range h.groups {
 		if len(g) < 2 {
+			for c := 0; c < h.chunks; c++ {
+				h.intra[gi] <- struct{}{}
+			}
 			continue
 		}
 		wg.Add(1)
-		go func(g []int) {
+		go func(gi int, g []int) {
 			defer wg.Done()
 			lead := bufs[g[0]]
-			for _, i := range g[1:] {
-				for k, v := range bufs[i] {
-					lead[k] += v
+			for c := 0; c < h.chunks; c++ {
+				lo, hi := h.chunk(c)
+				for _, i := range g[1:] {
+					tensor.VecAddInto(lead[lo:hi], bufs[i][lo:hi])
+				}
+				h.intra[gi] <- struct{}{}
+			}
+		}(gi, g)
+	}
+	// Cross-server exchange in group order.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for c := 0; c < h.chunks; c++ {
+			lo, hi := h.chunk(c)
+			for gi := range h.groups {
+				<-h.intra[gi]
+			}
+			copy(h.total[lo:hi], bufs[h.groups[0][0]][lo:hi])
+			for _, g := range h.groups[1:] {
+				tensor.VecAddInto(h.total[lo:hi], bufs[g[0]][lo:hi])
+			}
+			for gi := range h.groups {
+				h.bcast[gi] <- struct{}{}
+			}
+		}
+	}()
+	// Intra-server broadcast, one goroutine per server.
+	for gi, g := range h.groups {
+		wg.Add(1)
+		go func(gi int, g []int) {
+			defer wg.Done()
+			for c := 0; c < h.chunks; c++ {
+				lo, hi := h.chunk(c)
+				<-h.bcast[gi]
+				for _, i := range g {
+					copy(bufs[i][lo:hi], h.total[lo:hi])
 				}
 			}
-		}(g)
-	}
-	wg.Wait()
-
-	// Phase 2: exchange the per-server partial sums, accumulating in group
-	// order so the total is identical everywhere.
-	copy(h.total, bufs[h.groups[0][0]])
-	for _, g := range h.groups[1:] {
-		for k, v := range bufs[g[0]] {
-			h.total[k] += v
-		}
-	}
-
-	// Phase 3: broadcast the total back within each server.
-	for _, g := range h.groups {
-		wg.Add(1)
-		go func(g []int) {
-			defer wg.Done()
-			for _, i := range g {
-				copy(bufs[i], h.total)
-			}
-		}(g)
+		}(gi, g)
 	}
 	wg.Wait()
 }

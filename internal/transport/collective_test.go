@@ -56,6 +56,44 @@ func TestRingAllReduce(t *testing.T) {
 	}
 }
 
+// TestRingChunkCountBitIdentical pins the chain ring's central invariant:
+// the canonical rank-order accumulation makes the result a pure function of
+// the inputs — independent of the pipeline chunk count — and exactly equal
+// to a plain index-order sum, which is what lets the executor bucket
+// gradients without perturbing training results.
+func TestRingChunkCountBitIdentical(t *testing.T) {
+	for _, tc := range [][2]int{{2, 1000}, {3, 997}, {5, 64}, {8, 4096}} {
+		n, size := tc[0], tc[1]
+		want := naiveSum(randBufs(n, size, int64(n+size)))
+		for _, chunks := range []int{1, 2, 3, 5, 8, 200} {
+			bufs := randBufs(n, size, int64(n+size))
+			NewRingChunks(n, size, chunks).AllReduce(bufs)
+			for rank := range bufs {
+				for i := range want {
+					if bufs[rank][i] != want[i] {
+						t.Fatalf("n=%d size=%d chunks=%d rank %d element %d: %g, index-order sum %g",
+							n, size, chunks, rank, i, bufs[rank][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkRingAllReduceChunked is the chunked-collective microbenchmark:
+// one large all-reduce per iteration through the pipelined chain, the
+// configuration CI smoke-tests to keep the overlap path exercised.
+func BenchmarkRingAllReduceChunked(b *testing.B) {
+	const n, size = 4, 1 << 16
+	bufs := randBufs(n, size, 42)
+	r := NewRing(n, size)
+	b.SetBytes(int64(8 * size * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.AllReduce(bufs)
+	}
+}
+
 func TestHierAllReduce(t *testing.T) {
 	for _, tc := range []struct {
 		name   string

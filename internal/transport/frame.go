@@ -150,10 +150,17 @@ func (fw *FrameWriter) WriteF64(h Header, vals []float64) error {
 		fw.scratch = make([]byte, n)
 	}
 	buf := fw.scratch[:n]
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-	}
+	encodeF64(buf, vals)
 	return fw.WriteBytes(h, buf)
+}
+
+// encodeF64 encodes vals little-endian into dst; len(dst) must be
+// 8*len(vals). The writer pumps use it to stage float64 payloads directly
+// into their vectored-write arenas.
+func encodeF64(dst []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
 }
 
 // Flush forces buffered frames onto the underlying stream.

@@ -41,7 +41,9 @@ type TensorMsg struct {
 	Class int
 	// Index is the tensor's index within its class.
 	Index int
-	// Data is the received tensor (freshly allocated per message).
+	// Data is the received tensor, leased from the transport's recycle
+	// pool: hand it back with RecycleTensor once consumed, or keep it
+	// (without recycling) when the payload is retained.
 	Data *tensor.Matrix
 }
 
@@ -94,6 +96,13 @@ type TCP struct {
 	ctrl chan CtrlMsg
 	tens chan TensorMsg
 
+	// ctrlFree and tensFree recycle inbound payload buffers: the reader
+	// pumps lease from them instead of allocating per frame, and consumers
+	// hand exhausted buffers back through RecycleCtrl/RecycleTensor. A
+	// consumer that retains a payload simply never recycles it.
+	ctrlFree chan []byte
+	tensFree chan *tensor.Matrix
+
 	bytesSent, bytesRecv   atomic.Int64
 	framesSent, framesRecv atomic.Int64
 
@@ -115,7 +124,45 @@ func newTCP() *TCP {
 		closed:   make(chan struct{}),
 		ctrl:     make(chan CtrlMsg, 64),
 		tens:     make(chan TensorMsg, 256),
+		ctrlFree: make(chan []byte, 64),
+		tensFree: make(chan *tensor.Matrix, 64),
 	}
+}
+
+// leaseCtrl leases an n-byte control payload buffer, reusing a recycled one
+// of sufficient capacity.
+func (t *TCP) leaseCtrl(n int) []byte {
+	select {
+	case b := <-t.ctrlFree:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]byte, n)
+}
+
+// RecycleCtrl returns a consumed control payload (CtrlMsg.Data) to the
+// reader pumps' free list. The caller must not touch the buffer afterwards;
+// dropping a payload without recycling is always safe, it just allocates.
+func (t *TCP) RecycleCtrl(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case t.ctrlFree <- b[:0]:
+	default:
+	}
+}
+
+// RecycleTensor returns a consumed out-of-band tensor (TensorMsg.Data) to
+// the reader pumps' free list. Consumers that retain the matrix — weight
+// snapshots, optimizer state — must simply not recycle it.
+func (t *TCP) RecycleTensor(m *tensor.Matrix) {
+	if m == nil {
+		return
+	}
+	Recycle(t.tensFree, m)
 }
 
 // ListenTCP returns a transport accepting peer connections on addr
@@ -495,6 +542,21 @@ func (t *TCP) SendTensor(peer, class, index int, m *tensor.Matrix) error {
 	})
 }
 
+// SendTensorPooled is SendTensor with a recycle destination: the writer pump
+// returns m to free as soon as its bytes are staged for the socket, so
+// steady-state senders (the coordinator's per-micro label staging) cycle a
+// small pool instead of allocating per send. The caller must lease m from
+// free (see LeaseBuf) and not touch it after this call.
+func (t *TCP) SendTensorPooled(peer, class, index int, m *tensor.Matrix, free chan *tensor.Matrix) error {
+	return t.enqueue(peer, outFrame{
+		h: Header{
+			Type: FrameTensor, A: int32(class), M: int32(index),
+			Rows: int32(m.Rows), Cols: int32(m.Cols),
+		},
+		mat: m, free: free,
+	})
+}
+
 // fail records the first transport error and tears everything down.
 func (t *TCP) fail(err error) {
 	t.mu.Lock()
@@ -564,8 +626,18 @@ type outFrame struct {
 	mat     *tensor.Matrix
 	vec     []float64
 	payload []byte
-	free    chan *tensor.Matrix // recycle destination for mat after write
-	vfree   chan []float64      // recycle destination for vec after write
+	free    chan *tensor.Matrix // recycle destination for mat after staging
+	stage   *groupStage         // shared group staging vec carries, if any
+}
+
+// groupStage is one shared serialization staging of a group contribution:
+// every peer frame of the exchange references the same vector, and the last
+// writer pump to stage its copy recycles it — one copy per exchange instead
+// of one per peer.
+type groupStage struct {
+	v    []float64
+	refs atomic.Int32
+	free chan *groupStage
 }
 
 // tcpConn is one peer connection with its pumps.
@@ -597,56 +669,105 @@ func (c *tcpConn) start() {
 	go c.readLoop()
 }
 
-// writeLoop serializes queued frames through one buffered writer, flushing
-// whenever the queue drains — batching bursts without delaying lone frames.
+// writeBatchFrames caps how many queued frames one writev coalesces; with a
+// header and a payload vector per frame the batch stays well under the
+// kernel's iovec limit.
+const writeBatchFrames = 32
+
+// writeLoop drains queued frames in batches: each batch's float64 payloads
+// are encoded into one reusable arena, the headers into fixed slots, and the
+// whole batch — headers and payloads interleaved — is handed to the kernel
+// as a single vectored write. Bursts (a group exchange, a step's
+// micro-batches) collapse into one syscall; a lone frame costs exactly one.
+// Staging buffers are recycled as soon as their bytes land in the arena, so
+// senders reuse them without waiting on the socket.
 func (c *tcpConn) writeLoop() {
 	defer c.t.wg.Done()
-	fw := NewFrameWriter(c.nc)
+	var (
+		batch [writeBatchFrames]outFrame
+		hdrs  [writeBatchFrames][HeaderSize]byte
+		arena []byte
+		iov   [][]byte
+	)
 	for {
+		var f outFrame
 		select {
-		case f := <-c.out:
-			// WriteF64/WriteBytes set N on their own header copy, so
-			// measure the payload here — before the buffer is recycled
-			// and may be resized by its next lessee.
-			var err error
-			var n int
-			switch {
-			case f.mat != nil:
-				n = 8 * len(f.mat.Data)
-				err = fw.WriteF64(f.h, f.mat.Data)
-			case f.vec != nil:
-				n = 8 * len(f.vec)
-				err = fw.WriteF64(f.h, f.vec)
-			default:
-				n = len(f.payload)
-				err = fw.WriteBytes(f.h, f.payload)
-			}
-			if f.free != nil {
-				Recycle(f.free, f.mat)
-			}
-			if f.vfree != nil {
-				select {
-				case f.vfree <- f.vec:
-				default:
-				}
-			}
-			if err != nil {
-				c.t.connFail(c, err)
-				return
-			}
-			c.t.framesSent.Add(1)
-			c.t.bytesSent.Add(int64(HeaderSize) + int64(n))
-			if len(c.out) == 0 {
-				if err := fw.Flush(); err != nil {
-					c.t.connFail(c, err)
-					return
-				}
-			}
+		case f = <-c.out:
 		case <-c.dead:
 			return
 		case <-c.t.closed:
 			return
 		}
+		batch[0] = f
+		n := 1
+	fill:
+		for n < writeBatchFrames {
+			select {
+			case batch[n] = <-c.out:
+				n++
+			default:
+				break fill
+			}
+		}
+		// Size the arena up front: growing it mid-encode would dangle the
+		// slices already handed to the iovec.
+		need := 0
+		for i := 0; i < n; i++ {
+			switch {
+			case batch[i].mat != nil:
+				need += 8 * len(batch[i].mat.Data)
+			case batch[i].vec != nil:
+				need += 8 * len(batch[i].vec)
+			}
+		}
+		if cap(arena) < need {
+			arena = make([]byte, need)
+		}
+		arena = arena[:need]
+		iov = iov[:0]
+		off := 0
+		var payloadBytes int64
+		for i := 0; i < n; i++ {
+			f := &batch[i]
+			var p []byte
+			switch {
+			case f.mat != nil:
+				p = arena[off : off+8*len(f.mat.Data)]
+				encodeF64(p, f.mat.Data)
+				off += len(p)
+			case f.vec != nil:
+				p = arena[off : off+8*len(f.vec)]
+				encodeF64(p, f.vec)
+				off += len(p)
+			default:
+				p = f.payload
+			}
+			f.h.N = uint32(len(p))
+			f.h.encode(hdrs[i][:])
+			iov = append(iov, hdrs[i][:])
+			if len(p) > 0 {
+				iov = append(iov, p)
+			}
+			payloadBytes += int64(len(p))
+			// The payload's bytes are in the arena; the staging buffer can
+			// go back to its pool before the syscall.
+			if f.free != nil {
+				Recycle(f.free, f.mat)
+			}
+			if f.stage != nil && f.stage.refs.Add(-1) == 0 {
+				select {
+				case f.stage.free <- f.stage:
+				default:
+				}
+			}
+		}
+		nb := net.Buffers(iov)
+		if _, err := nb.WriteTo(c.nc); err != nil {
+			c.t.connFail(c, err)
+			return
+		}
+		c.t.framesSent.Add(int64(n))
+		c.t.bytesSent.Add(int64(n*HeaderSize) + payloadBytes)
 	}
 }
 
@@ -671,7 +792,7 @@ func (c *tcpConn) readLoop() {
 		t.bytesRecv.Add(int64(HeaderSize) + int64(h.N))
 		switch h.Type {
 		case FrameControl:
-			payload := make([]byte, h.N)
+			payload := t.leaseCtrl(int(h.N))
 			if err = c.fr.ReadBytes(payload); err == nil {
 				select {
 				case t.ctrl <- CtrlMsg{Peer: c.peer, Data: payload}:
@@ -680,7 +801,7 @@ func (c *tcpConn) readLoop() {
 				}
 			}
 		case FrameTensor:
-			mat := tensor.New(int(h.Rows), int(h.Cols))
+			mat := LeaseBuf(t.tensFree, int(h.Rows), int(h.Cols))
 			if err = c.fr.ReadF64(mat.Data); err == nil {
 				select {
 				case t.tens <- TensorMsg{Peer: c.peer, Class: int(h.A), Index: int(h.M), Data: mat}:
@@ -920,7 +1041,7 @@ func (t *TCP) OpenGroup(gid int, members []int, size int) (Group, error) {
 		g.empty[i] <- struct{}{}
 	}
 	g.sum = make([]float64, size)
-	g.vfree = make(chan []float64, n)
+	g.sfree = make(chan *groupStage, 2)
 	sl := t.groupSlotFor(gid)
 	t.mu.Lock()
 	epoch := sl.last + 1
@@ -1018,11 +1139,11 @@ type tcpGroup struct {
 	self    int           // index of this rank in members
 	size    int
 
-	recv  [][]float64     // per-member contribution slots (self unused)
-	full  []chan struct{} // pump -> consumer slot tokens
-	empty []chan struct{} // consumer -> pump slot tokens
-	sum   []float64       // member-order accumulation scratch
-	vfree chan []float64  // recycled send staging vectors
+	recv  [][]float64      // per-member contribution slots (self unused)
+	full  []chan struct{}  // pump -> consumer slot tokens
+	empty []chan struct{}  // consumer -> pump slot tokens
+	sum   []float64        // member-order accumulation scratch
+	sfree chan *groupStage // recycled shared send stagings
 }
 
 // AllReduce exchanges buf with every member and replaces it with the sum
@@ -1032,21 +1153,26 @@ func (g *tcpGroup) AllReduce(buf []float64, abort <-chan struct{}) error {
 		return fmt.Errorf("transport: group %d all-reduce of %d elements, want %d", g.id, len(buf), g.size)
 	}
 	h := Header{Type: FrameGroup, A: int32(g.id), B: int32(g.t.rank), Epoch: g.epoch}
-	for i, r := range g.members {
-		if i == g.self {
-			continue
-		}
-		// Stage a private copy per peer: the writer pumps serialize
-		// asynchronously, after this call may already have overwritten buf.
-		var vec []float64
+	if n := len(g.members); n > 1 {
+		// Stage ONE copy shared by every peer frame: the writer pumps
+		// serialize asynchronously, after this call may already have
+		// overwritten buf, but their encodes all read the same staging; the
+		// last pump to encode recycles it.
+		var st *groupStage
 		select {
-		case vec = <-g.vfree:
+		case st = <-g.sfree:
 		default:
-			vec = make([]float64, g.size)
+			st = &groupStage{v: make([]float64, g.size), free: g.sfree}
 		}
-		copy(vec, buf)
-		if err := g.t.enqueue(r, outFrame{h: h, vec: vec, vfree: g.vfree}); err != nil {
-			return err
+		copy(st.v, buf)
+		st.refs.Store(int32(n - 1))
+		for i, r := range g.members {
+			if i == g.self {
+				continue
+			}
+			if err := g.t.enqueue(r, outFrame{h: h, vec: st.v, stage: st}); err != nil {
+				return err
+			}
 		}
 	}
 	for i := range g.members {
@@ -1063,6 +1189,8 @@ func (g *tcpGroup) AllReduce(buf []float64, abort <-chan struct{}) error {
 			return g.t.closeErr()
 		}
 	}
+	// Member-order accumulation through the shared vectorized kernel — the
+	// same canonical-order fold the in-process collectives use.
 	first := true
 	for i := range g.members {
 		src := buf
@@ -1074,9 +1202,7 @@ func (g *tcpGroup) AllReduce(buf []float64, abort <-chan struct{}) error {
 			first = false
 			continue
 		}
-		for k, v := range src {
-			g.sum[k] += v
-		}
+		tensor.VecAddInto(g.sum, src)
 	}
 	copy(buf, g.sum)
 	for i := range g.members {
