@@ -19,6 +19,15 @@
 // survivable mode — peer isolation, heartbeats, and participation in the
 // coordinator's re-plan protocol. -die-at-step scripts this worker's death
 // at a given step for chaos and recovery testing.
+//
+// With -join the worker instead joins a RUNNING elastic session: it dials
+// the coordinator's listen address, runs the membership handshake (protocol
+// version and manifest-hash checks), is granted a fresh rank, dials the
+// granted peer mesh, and receives the live training state as a checkpoint
+// stream. -rank and -peers are rejected with -join; the session assigns
+// both:
+//
+//	dapple-worker -join 127.0.0.1:7800
 package main
 
 import (
@@ -41,8 +50,16 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated addresses of workers 0..rank-1, in rank order")
 		timeout = flag.Duration("dial-timeout", 30*time.Second, "time limit for connecting the worker mesh")
 		dieAt   = flag.Int("die-at-step", -1, "fault injection: exit the moment the coordinator announces this step (negative disables)")
+		join    = flag.String("join", "", "join the running elastic session whose coordinator listens at this address (-rank/-peers must be unset; the session grants both)")
 	)
 	flag.Parse()
+	if *join != "" {
+		if *rank >= 0 || *peers != "" {
+			fatalf("dapple-worker: -join assigns rank and peers from the session; drop -rank/-peers")
+		}
+		runJoin(*join, *listen, *timeout, *dieAt)
+		return
+	}
 	if *rank < 0 {
 		fatalf("dapple-worker: -rank is required")
 	}
@@ -87,6 +104,35 @@ func main() {
 		fatalf("dapple-worker: rank %d: %v", *rank, err)
 	}
 	fmt.Printf("dapple-worker: rank %d shut down cleanly\n", *rank)
+}
+
+// runJoin is the elastic entry point: knock on the coordinator, run the
+// membership handshake, then serve the session exactly like a seed worker.
+func runJoin(coordAddr, listen string, timeout time.Duration, dieAt int) {
+	t, err := transport.ListenTCP(listen)
+	if err != nil {
+		fatalf("dapple-worker: %v", err)
+	}
+	defer t.Close()
+	fmt.Printf("dapple-worker: joiner listening on %s, knocking on %s\n", t.Addr(), coordAddr)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	joinCtx, joinCancel := context.WithTimeout(ctx, timeout)
+	defer joinCancel()
+	w, err := train.JoinSession(joinCtx, t, coordAddr)
+	if err != nil {
+		fatalf("dapple-worker: join %s: %v", coordAddr, err)
+	}
+	// The smoke harness scrapes this line to confirm admission.
+	fmt.Printf("dapple-worker: admitted as rank %d\n", w.Rank())
+	if dieAt >= 0 {
+		w.SetDieAtStep(dieAt)
+	}
+	if err := w.Serve(ctx); err != nil {
+		fatalf("dapple-worker: rank %d: %v", w.Rank(), err)
+	}
+	fmt.Printf("dapple-worker: rank %d shut down cleanly\n", w.Rank())
 }
 
 func fatalf(format string, args ...any) {

@@ -74,6 +74,10 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 500*time.Millisecond, "with -exec-workers: liveness heartbeat interval; silent ranks are declared dead after 10 intervals (0 disables)")
 		ckptDir    = flag.String("checkpoint-dir", "", "with -exec-workers: persist consistent snapshots here and resume from the latest on start")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "with -exec-workers and -checkpoint-dir: snapshot every N steps")
+		ckptKeep   = flag.Int("checkpoint-keep", 0, "with -checkpoint-dir: prune all but the newest N snapshots after each save (0 keeps everything)")
+		elastic    = flag.Bool("elastic", false, "with -exec-workers: listen for dapple-worker -join knocks and admit replacements into the running session")
+		coordLis   = flag.String("coord-listen", "127.0.0.1:0", "with -elastic: coordinator listen address for joiners")
+		minRanks   = flag.Int("min-ranks", 0, "with -elastic: before each step, wait for joiners until at least this many worker ranks are live (0 never waits)")
 		measured   = flag.Bool("measured-profile", false, "with -execute: calibrate per-layer times by measuring warm real execution instead of the analytic FLOP model")
 		measIters  = flag.Int("measure-iters", 5, "with -measured-profile: recorded calibration iterations aggregated per layer")
 	)
@@ -261,7 +265,9 @@ func main() {
 				fmt.Printf("recover: re-planned onto %d surviving workers: %v\n", len(alive), pr.Plan)
 				return pr.Plan, dr, nil
 			}
-			ft := faultTolerance{heartbeat: *heartbeat, ckptDir: *ckptDir, ckptEvery: *ckptEvery, replan: replan}
+			ft := faultTolerance{heartbeat: *heartbeat, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+				ckptKeep: *ckptKeep, replan: replan,
+				elastic: *elastic, coordListen: *coordLis, minRanks: *minRanks}
 			runPlanDistributed(ctx, master, plan, pol, rc, *execIters, *seed, strings.Split(*execWkrs, ","), ft)
 		} else {
 			runPlan(ctx, master, plan, res, pol, rc, *execIters, *seed, *gantt)
@@ -328,10 +334,14 @@ func runPlan(ctx context.Context, master *dapple.Network, plan *dapple.Plan, sim
 // faultTolerance carries the session's fault-tolerance configuration from
 // the flag layer into the distributed drive loop.
 type faultTolerance struct {
-	heartbeat time.Duration
-	ckptDir   string
-	ckptEvery int
-	replan    dapple.ReplanFunc
+	heartbeat   time.Duration
+	ckptDir     string
+	ckptEvery   int
+	ckptKeep    int
+	replan      dapple.ReplanFunc
+	elastic     bool
+	coordListen string
+	minRanks    int
 }
 
 // runPlanDistributed executes the plan as a multi-process session: this
@@ -359,7 +369,17 @@ func runPlanDistributed(ctx context.Context, master *dapple.Network, plan *dappl
 	fmt.Printf("\nexecute: distributed session, %d worker processes, policy %v, recompute %v\n",
 		workers, pol, rc)
 
-	t := transport.NewTCP()
+	// An elastic coordinator must itself listen: joiners knock on it. The
+	// default coordinator is dial-only.
+	var t *transport.TCP
+	if ft.elastic {
+		var err error
+		if t, err = transport.ListenTCP(ft.coordListen); err != nil {
+			fatalf("coordinator listen: %v", err)
+		}
+	} else {
+		t = transport.NewTCP()
+	}
 	t.SetRank(workers)
 	defer t.Close()
 	// Retrying dials make bring-up order-free: workers launched moments
@@ -396,6 +416,19 @@ func runPlanDistributed(ctx context.Context, master *dapple.Network, plan *dappl
 	if ft.ckptDir != "" {
 		opts = append(opts, train.WithCheckpoint(ft.ckptDir, ft.ckptEvery))
 	}
+	if ft.ckptKeep > 0 {
+		opts = append(opts, train.WithCheckpointRetention(ft.ckptKeep))
+	}
+	if ft.elastic {
+		seedAddrs := make(map[int]string, workers)
+		for r, addr := range addrs {
+			seedAddrs[r] = addr
+		}
+		opts = append(opts, train.WithElastic(seedAddrs))
+		// The joiner harness (and a human replacing a dead worker) scrapes
+		// this line for the knock address.
+		fmt.Printf("execute: elastic session; join with: dapple-worker -join %s\n", t.Addr())
+	}
 	coord, err := train.NewCoordinator(ctx, t, plan, master, train.OptSpec{Kind: "adam", LR: 2e-3},
 		train.ExecOptions{Policy: pol, Recompute: rc}, deviceRanks, workers, opts...)
 	if err != nil {
@@ -425,19 +458,37 @@ func runPlanDistributed(ctx context.Context, master *dapple.Network, plan *dappl
 		}
 	}
 	seqDone := resume
-	recoveries := 0
+	recoveries, failures, joins := 0, 0, 0
 	for it := resume; it < iters; {
+		if ft.minRanks > 0 && len(coord.Alive()) < ft.minRanks {
+			fmt.Printf("execute: %d/%d ranks live; waiting for a joiner\n", len(coord.Alive()), ft.minRanks)
+			if err := coord.AwaitJoin(ctx); err != nil {
+				fatalf("await join: %v", err)
+			}
+		}
 		start := time.Now()
 		loss, err := coord.Step(ctx, batches[it])
 		if err != nil {
 			var rec *train.Recovered
 			if errors.As(err, &rec) {
 				recoveries++
-				if recoveries > workers {
+				if recoveries > 2*workers {
 					fatalf("session recovered %d times for %d workers; giving up", recoveries, workers)
 				}
-				fmt.Printf("recover: lost ranks %v at iteration %d; rewound to iteration %d\n",
-					rec.Lost, it+1, rec.Resume+1)
+				joins += len(rec.Joined)
+				switch {
+				case rec.Cause == nil && len(rec.Joined) > 0:
+					fmt.Printf("expand: admitted ranks %v at iteration %d; session now %v; rewound to iteration %d\n",
+						rec.Joined, it+1, coord.Alive(), rec.Resume+1)
+				case len(rec.Joined) > 0:
+					failures++
+					fmt.Printf("recover: lost ranks %v, admitted %v at iteration %d; rewound to iteration %d\n",
+						rec.Lost, rec.Joined, it+1, rec.Resume+1)
+				default:
+					failures++
+					fmt.Printf("recover: lost ranks %v at iteration %d; rewound to iteration %d\n",
+						rec.Lost, it+1, rec.Resume+1)
+				}
 				it = rec.Resume
 				continue
 			}
@@ -458,8 +509,11 @@ func runPlanDistributed(ctx context.Context, master *dapple.Network, plan *dappl
 		it++
 	}
 	st := t.Stats()
-	if recoveries > 0 {
-		fmt.Printf("execute: survived %d worker failure(s); all completed iterations match sequential within 1e-6\n", recoveries)
+	if failures > 0 {
+		fmt.Printf("execute: survived %d worker failure(s); all completed iterations match sequential within 1e-6\n", failures)
+	}
+	if joins > 0 {
+		fmt.Printf("execute: admitted %d replacement worker(s) into the running session\n", joins)
 	}
 	fmt.Printf("execute: distributed losses match sequential within 1e-6; coordinator moved %s out / %s in\n",
 		stats.Bytes(st.BytesSent), stats.Bytes(st.BytesRecv))

@@ -32,8 +32,8 @@ type (
 	// tell every worker how to build identical optimizer state.
 	OptSpec = train.OptSpec
 	// SessionOption configures a Coordinator's fault-tolerance machinery:
-	// WithHeartbeat, WithStepTimeout, WithShutdownTimeout, WithCheckpoint
-	// and WithReplan.
+	// WithHeartbeat, WithStepTimeout, WithShutdownTimeout, WithCheckpoint,
+	// WithCheckpointRetention, WithReplan and WithElastic.
 	SessionOption = train.SessionOption
 	// ReplanFunc produces a plan for the surviving worker ranks after a
 	// failure, plus the new device→rank placement.
@@ -67,7 +67,25 @@ var (
 	// WithReplan makes the session survive worker death by re-planning
 	// onto the survivors.
 	WithReplan = train.WithReplan
+	// WithCheckpointRetention prunes the checkpoint directory down to the
+	// newest keep snapshots after every successful save.
+	WithCheckpointRetention = train.WithCheckpointRetention
+	// WithElastic lets new workers join the running session: the coordinator
+	// (which must listen — use ListenTCP) admits JoinSession knocks at step
+	// boundaries, streams them the live training state, and re-plans onto
+	// the expanded membership. addrs maps each initial rank to its listen
+	// address so joiners can dial the existing mesh. Requires WithReplan.
+	WithElastic = train.WithElastic
 )
+
+// JoinSession dials a running elastic session's coordinator at coordAddr,
+// runs the membership handshake (protocol version and manifest-hash checks,
+// rank grant), dials the granted peer mesh and returns the admitted worker —
+// call Serve on it to receive the state stream and start training. The
+// transport must listen (ListenTCP) so existing members can dial back.
+func JoinSession(ctx context.Context, t *TCPTransport, coordAddr string) (*DistWorker, error) {
+	return train.JoinSession(ctx, t, coordAddr)
+}
 
 // NewChaosTransport wraps inner with the scripted fault schedule; the same
 // seed always yields the same per-edge schedule.

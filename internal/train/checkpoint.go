@@ -283,3 +283,59 @@ func LatestCheckpoint(dir string) (*Checkpoint, string, error) {
 	}
 	return nil, "", nil
 }
+
+// ckptNames lists dir's checkpoint file names in descending step order.
+func ckptNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".bin") {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names, nil
+}
+
+// PruneCheckpoints deletes old checkpoints from dir, keeping the keep newest
+// files plus — always — the newest VALID checkpoint, wherever it sits. That
+// extra rule makes pruning safe around torn writes: when the newest file is
+// corrupt, the valid file LatestCheckpoint would fall back to is kept even if
+// it has aged out of the keep window, so retention can never destroy the only
+// recoverable state. Files are validated lazily, newest first, and a dir with
+// keep or fewer checkpoints is left untouched. Returns the deleted paths.
+func PruneCheckpoints(dir string, keep int) ([]string, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("train: checkpoint retention needs keep >= 1, got %d", keep)
+	}
+	names, err := ckptNames(dir)
+	if err != nil || len(names) <= keep {
+		return nil, err
+	}
+	// Find the newest file that actually decodes; everything newer is torn.
+	newestValid := ""
+	for _, n := range names {
+		if _, err := ReadCheckpoint(filepath.Join(dir, n)); err == nil {
+			newestValid = n
+			break
+		}
+	}
+	var removed []string
+	for i, n := range names {
+		if i < keep || n == newestValid {
+			continue
+		}
+		path := filepath.Join(dir, n)
+		if err := os.Remove(path); err != nil {
+			return removed, err
+		}
+		removed = append(removed, path)
+	}
+	return removed, nil
+}

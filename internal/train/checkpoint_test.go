@@ -181,3 +181,99 @@ func TestLatestCheckpointSkipsTorn(t *testing.T) {
 		t.Fatalf("missing dir: (%v, %v), want (nil, nil)", c, err)
 	}
 }
+
+// TestPruneCheckpointsKeepLast writes five checkpoints and prunes to the two
+// newest: exactly those two must survive, in-window files must never be
+// touched, and a second prune must be a no-op.
+func TestPruneCheckpointsKeepLast(t *testing.T) {
+	dir := t.TempDir()
+	net, err := BuildNet([]LayerSpec{{Kind: "dense", In: 2, Out: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewMomentum(0.1, 0.9)
+	for step := 1; step <= 5; step++ {
+		optSteps(t, net, opt, int64(step), 1)
+		if _, err := SaveCheckpoint(dir, CaptureCheckpoint(step, net, opt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := PruneCheckpoints(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 {
+		t.Fatalf("pruned %d files, want 3: %v", len(removed), removed)
+	}
+	names, err := ckptNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != ckptName(5) || names[1] != ckptName(4) {
+		t.Fatalf("surviving checkpoints %v, want [%s %s]", names, ckptName(5), ckptName(4))
+	}
+	// Idempotent: nothing left to prune.
+	if removed, err := PruneCheckpoints(dir, 2); err != nil || len(removed) != 0 {
+		t.Fatalf("second prune removed %v (err %v), want nothing", removed, err)
+	}
+	// The newest must still load.
+	c, _, err := LatestCheckpoint(dir)
+	if err != nil || c == nil || c.Step != 5 {
+		t.Fatalf("after prune LatestCheckpoint = (%v, %v), want step 5", c, err)
+	}
+}
+
+// TestPruneCheckpointsKeepsNewestValid is the torn-write safety property:
+// with the newest file corrupt and keep=1, pruning must preserve BOTH the
+// (possibly recoverable) newest file and the newest valid checkpoint behind
+// it, so LatestCheckpoint's fallback still lands on usable state after
+// retention runs.
+func TestPruneCheckpointsKeepsNewestValid(t *testing.T) {
+	dir := t.TempDir()
+	net, err := BuildNet([]LayerSpec{{Kind: "dense", In: 2, Out: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewMomentum(0.1, 0.9)
+	var last string
+	for step := 1; step <= 4; step++ {
+		optSteps(t, net, opt, int64(step), 1)
+		if last, err = SaveCheckpoint(dir, CaptureCheckpoint(step, net, opt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the newest file short, as a crash mid-write would.
+	buf, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, buf[:len(buf)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PruneCheckpoints(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ckptNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != ckptName(4) || names[1] != ckptName(3) {
+		t.Fatalf("surviving checkpoints %v, want the torn newest plus the newest valid [%s %s]",
+			names, ckptName(4), ckptName(3))
+	}
+	c, path, err := LatestCheckpoint(dir)
+	if err != nil || c == nil || c.Step != 3 {
+		t.Fatalf("fallback after prune = (%v, %v), want step 3", c, err)
+	}
+	if filepath.Base(path) != ckptName(3) {
+		t.Fatalf("fallback path %s, want %s", path, ckptName(3))
+	}
+
+	// Degenerate inputs: keep < 1 is an error; a missing dir prunes nothing.
+	if _, err := PruneCheckpoints(dir, 0); err == nil {
+		t.Fatal("PruneCheckpoints(keep=0) did not error")
+	}
+	if removed, err := PruneCheckpoints(filepath.Join(dir, "missing"), 3); err != nil || removed != nil {
+		t.Fatalf("missing dir prune = (%v, %v), want (nil, nil)", removed, err)
+	}
+}

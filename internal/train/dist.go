@@ -3,6 +3,7 @@ package train
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -47,6 +48,7 @@ const (
 	ctrlSnapshot    = "snapshot"
 	ctrlSnapAck     = "snap-ack"
 	ctrlReconfig    = "reconfig"
+	ctrlJoin        = "join"
 )
 
 // Tensor classes multiplexed on the session mesh's out-of-band tensor plane.
@@ -58,6 +60,7 @@ const (
 	tensSnapW  = 5 // snapshot gather: weights toward the coordinator
 	tensSnapS  = 6 // snapshot gather: optimizer state toward the coordinator
 	tensFlush  = 7 // recovery flush marker: everything before it is stale
+	tensCkpt   = 8 // checkpoint stream to a joiner, Index = chunk number
 )
 
 // LayerSpec describes one nn layer structurally, enough for a worker to
@@ -191,6 +194,11 @@ type envelope struct {
 	// coordinator's overlap-efficiency aggregate.
 	CommS float64 `json:"commS,omitempty"`
 	WaitS float64 `json:"waitS,omitempty"`
+	// CkptBytes rides on a reconfig toward a freshly joined rank: the exact
+	// byte length of the checkpoint stream (tensCkpt frames) that follows
+	// instead of the per-parameter state broadcast. Zero selects the
+	// broadcast format.
+	CkptBytes int64 `json:"ckptBytes,omitempty"`
 }
 
 // sum totals a per-stage seconds slice for a step-done report.
@@ -315,7 +323,10 @@ type sessionConfig struct {
 	shutdownTimeout time.Duration
 	ckptDir         string
 	ckptEvery       int
+	ckptKeep        int
 	replan          ReplanFunc
+	elastic         bool
+	addrs           map[int]string
 }
 
 // ReplanFunc produces a new plan for the surviving worker ranks after a
@@ -365,21 +376,60 @@ func WithReplan(fn ReplanFunc) SessionOption {
 	return func(c *sessionConfig) { c.replan = fn }
 }
 
-// Recovered is the error a Step that triggered a successful recovery
-// returns: the failed step did not complete, training state was rewound to
-// the last consistent snapshot, and the session now runs on the surviving
-// ranks. The caller rewinds its data feed to step Resume and continues.
+// WithCheckpointRetention prunes the checkpoint directory after every
+// snapshot, keeping the keep newest files (plus, always, the newest valid
+// checkpoint — see PruneCheckpoints), so a long session's checkpoint dir
+// stays bounded. Zero (the default) disables pruning. Only meaningful with
+// WithCheckpoint.
+func WithCheckpointRetention(keep int) SessionOption {
+	return func(c *sessionConfig) { c.ckptKeep = keep }
+}
+
+// WithElastic lets the session grow as well as shrink: the coordinator's
+// transport (which must be listening) accepts membership handshakes from
+// fresh dapple-worker processes (see JoinSession), admits them under fresh
+// ranks and expands the session onto them at the next step boundary — the
+// inverse of WithReplan's shrink, and it requires WithReplan (the same
+// ReplanFunc re-plans the grown rank set). addrs maps every launch-time
+// worker rank to its listen address, so joiners can be told whom to dial;
+// joined workers' addresses are learned from their join requests.
+func WithElastic(addrs map[int]string) SessionOption {
+	return func(c *sessionConfig) {
+		c.elastic = true
+		c.addrs = make(map[int]string, len(addrs))
+		for r, a := range addrs {
+			c.addrs[r] = a
+		}
+	}
+}
+
+// Recovered is the error a Step that reshaped the session returns: the
+// requested step did not run, training state was rewound to the last
+// consistent snapshot, and the session now runs on a different rank set — a
+// shrink after a failure (Lost), an expansion onto admitted joiners
+// (Joined), or both when an expansion and a death raced. The caller rewinds
+// its data feed to step Resume and continues.
 type Recovered struct {
 	// Resume is the next step index to run (the restored snapshot's step).
 	Resume int
 	// Lost lists the ranks removed from the session, ascending.
 	Lost []int
-	// Cause is the failure that triggered the recovery.
+	// Joined lists the freshly admitted ranks now in the session, ascending.
+	Joined []int
+	// Cause is the failure that triggered the recovery; nil for a pure
+	// expansion, which no failure triggers.
 	Cause error
 }
 
 // Error implements error.
 func (r *Recovered) Error() string {
+	if r.Cause == nil {
+		return fmt.Sprintf("train: session expanded onto joined ranks %v; resume at step %d", r.Joined, r.Resume)
+	}
+	if len(r.Joined) > 0 {
+		return fmt.Sprintf("train: session recovered from %v (lost ranks %v, joined ranks %v); resume at step %d",
+			r.Cause, r.Lost, r.Joined, r.Resume)
+	}
 	return fmt.Sprintf("train: session recovered from %v (lost ranks %v); resume at step %d", r.Cause, r.Lost, r.Resume)
 }
 
@@ -405,6 +455,15 @@ type Coordinator struct {
 	ckpt        *Checkpoint
 	hb          *heartbeater
 	failed      error
+
+	// Elastic membership (all nil/zero unless WithElastic). Mutated only from
+	// the coordinator's protocol loops, so no locking.
+	nextRank  int            // next rank to grant; joiners never reuse dead ranks
+	joining   map[int]bool   // granted a rank, still meshing
+	joinReady []int          // meshed and admission-pending
+	fresh     map[int]bool   // ranks that have never built a session: next reconfig streams them a checkpoint
+	addrs     map[int]string // listen address per live or joining rank
+	manHash   string         // invariant-manifest hash joiners must match
 
 	commS, waitS float64 // gradient-sync seconds aggregated from step-done reports
 
@@ -462,6 +521,25 @@ func NewCoordinator(ctx context.Context, t *transport.TCP, p *core.Plan, master 
 	man, err := c.manifest()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.elastic {
+		if cfg.replan == nil {
+			return nil, fmt.Errorf("train: WithElastic requires WithReplan")
+		}
+		if t.Addr() == "" {
+			return nil, fmt.Errorf("train: an elastic coordinator's transport must listen (use ListenTCP)")
+		}
+		for r := 0; r < workers; r++ {
+			if cfg.addrs[r] == "" {
+				return nil, fmt.Errorf("train: WithElastic is missing worker %d's listen address", r)
+			}
+		}
+		c.nextRank = workers + 1
+		c.joining = map[int]bool{}
+		c.fresh = map[int]bool{}
+		c.addrs = cfg.addrs
+		c.manHash = sessionHash(man)
+		t.SetAcceptJoins(true)
 	}
 	for _, w := range c.alive {
 		if err := sendEnvelope(t, w, envelope{Kind: ctrlManifest, Manifest: man}); err != nil {
@@ -573,9 +651,15 @@ func (c *Coordinator) readyBarrier(ctx context.Context) error {
 		}
 		switch env.Kind {
 		case ctrlReady:
+			if env.Step != int(c.floor()) {
+				continue // a ready from a torn rehandshake round; drop
+			}
 			delete(pending, peer)
+			delete(c.fresh, peer) // a built session means broadcasts fit from now on
 		case ctrlStepDone, ctrlSnapAck:
 			// Stale reports from the torn generation; drop.
+		case ctrlJoin:
+			c.noteJoinReady(peer)
 		case ctrlAbort:
 			if err := c.noteAbort(peer, env); err != nil {
 				return err
@@ -630,6 +714,12 @@ func (c *Coordinator) CompletedSteps() int { return c.step }
 func (c *Coordinator) Step(ctx context.Context, micros []Batch) (float64, error) {
 	if c.failed != nil {
 		return 0, c.failed
+	}
+	if c.cfg.elastic {
+		c.drainJoins()
+		if js := c.takeReady(); len(js) > 0 {
+			return 0, c.admit(ctx, js)
+		}
 	}
 	loss, err := c.tryStep(ctx, micros)
 	if err == nil {
@@ -705,11 +795,15 @@ func (c *Coordinator) tryStep(ctx context.Context, micros []Batch) (float64, err
 				if err := c.noteAbort(cm.Peer, env); err != nil {
 					return 0, err
 				}
-			case ctrlSnapAck:
-				// Stale gather ack; drop.
+			case ctrlSnapAck, ctrlReady:
+				// Stale gather ack or torn-round ready; drop.
+			case ctrlJoin:
+				c.noteJoinReady(cm.Peer) // admission waits for the step boundary
 			default:
 				return 0, fmt.Errorf("train: rank %d sent %q during step %d", cm.Peer, env.Kind, step)
 			}
+		case j := <-c.t.Joins():
+			c.serviceJoin(j)
 		case <-dwait:
 		case <-expire:
 			err := fmt.Errorf("train: step %d timed out after %v", step, c.cfg.stepTimeout)
@@ -816,8 +910,10 @@ func (c *Coordinator) snapshot(ctx context.Context) error {
 						ck.OptStep = env.OptStep
 					}
 				}
-			case ctrlStepDone:
-				// Stale report; drop.
+			case ctrlStepDone, ctrlReady:
+				// Stale report or torn-round ready; drop.
+			case ctrlJoin:
+				c.noteJoinReady(cm.Peer)
 			case ctrlAbort:
 				if err := c.noteAbort(cm.Peer, env); err != nil {
 					return err
@@ -825,6 +921,8 @@ func (c *Coordinator) snapshot(ctx context.Context) error {
 			default:
 				return fmt.Errorf("train: rank %d sent %q during snapshot", cm.Peer, env.Kind)
 			}
+		case j := <-c.t.Joins():
+			c.serviceJoin(j)
 		case <-dwait:
 		case <-c.t.Done():
 			return c.t.Err()
@@ -842,6 +940,11 @@ func (c *Coordinator) snapshot(ctx context.Context) error {
 		if _, err := SaveCheckpoint(c.cfg.ckptDir, ck); err != nil {
 			return fmt.Errorf("train: checkpoint write: %w", err)
 		}
+		if c.cfg.ckptKeep > 0 {
+			if _, err := PruneCheckpoints(c.cfg.ckptDir, c.cfg.ckptKeep); err != nil {
+				return fmt.Errorf("train: checkpoint prune: %w", err)
+			}
+		}
 	}
 	return nil
 }
@@ -852,8 +955,14 @@ func (c *Coordinator) snapshot(ctx context.Context) error {
 // mid-recovery starts the next round; recovery fails when no progress is
 // possible (no rank died, no survivors, or the re-plan itself fails).
 func (c *Coordinator) recover(ctx context.Context, cause error) ([]int, error) {
+	// Ranks legitimately go quiet while they rebuild (retiring generations,
+	// restoring checkpoints): pause silence verdicts so recovery itself never
+	// manufactures new deaths. Conn-level failures still down ranks.
+	c.hb.Suspend()
+	defer c.hb.Resume()
 	var lost []int
-	for attempt := 0; attempt < c.coord; attempt++ {
+	attempts := len(c.alive) + 1
+	for attempt := 0; attempt < attempts; attempt++ {
 		downs, _ := c.t.PeerDowns()
 		dead := make(map[int]bool, len(downs))
 		for _, r := range downs {
@@ -868,6 +977,7 @@ func (c *Coordinator) recover(ctx context.Context, cause error) ([]int, error) {
 			}
 		}
 		sort.Ints(lost)
+		c.dropDead(dead)
 		if len(alive) == len(c.alive) {
 			return nil, fmt.Errorf("train: unrecoverable failure (no rank died): %w", cause)
 		}
@@ -924,24 +1034,38 @@ func validatePlacement(p *core.Plan, deviceRanks []int, alive []int) error {
 	return nil
 }
 
-// rehandshake re-runs the session handshake on the survivors: reconfig
-// (carrying the new manifest), a flush marker fencing off the torn
-// generation's in-flight tensors, the restored state broadcast, then the
-// ready barrier.
+// rehandshake re-runs the session handshake on the current membership:
+// reconfig (carrying the new manifest), a flush marker fencing off the torn
+// generation's in-flight tensors, then the training state — the restored
+// broadcast for ranks that have built a session before, a CRC-tailed
+// checkpoint stream for fresh joiners — then the ready barrier.
 func (c *Coordinator) rehandshake(ctx context.Context) error {
 	man, err := c.manifest()
 	if err != nil {
 		return err
 	}
 	marker := tensor.New(1, 1)
+	var stream []byte // checkpoint wire image for fresh ranks, encoded once
 	for _, w := range c.alive {
-		if err := sendEnvelope(c.t, w, envelope{Kind: ctrlReconfig, Manifest: man}); err != nil {
+		env := envelope{Kind: ctrlReconfig, Manifest: man}
+		if c.fresh[w] {
+			if stream == nil {
+				stream = EncodeCheckpoint(c.ckpt)
+			}
+			env.CkptBytes = int64(len(stream))
+		}
+		if err := sendEnvelope(c.t, w, env); err != nil {
 			return err
 		}
 		if err := c.t.SendTensor(w, tensFlush, int(man.Epoch), marker); err != nil {
 			return err
 		}
-		if err := c.sendState(w); err != nil {
+		if c.fresh[w] {
+			err = c.sendCkptStream(w, stream)
+		} else {
+			err = c.sendState(w)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -1015,6 +1139,7 @@ type Worker struct {
 	dieAtStep int                 // scripted death for fault tests; -1 disables
 	flushSeen int                 // highest recovery flush marker consumed
 	hb        *heartbeater
+	grant     *joinGrantMsg // non-nil on a worker admitted mid-session (JoinSession)
 
 	microBuf []Batch // reused per-step micro-batch staging
 	labelBuf [][]int // reused per-micro label staging
@@ -1028,6 +1153,10 @@ func NewWorker(t *transport.TCP, rank int) *Worker {
 
 // Executor returns the worker's executor, nil before the handshake.
 func (w *Worker) Executor() *Executor { return w.exec }
+
+// Rank returns the worker's mesh rank — assigned at construction for seed
+// workers, granted by the coordinator for JoinSession workers.
+func (w *Worker) Rank() int { return w.rank }
 
 // SetDieAtStep scripts this worker's death: it tears down its transport and
 // exits cleanly the moment the coordinator announces the given step — the
@@ -1055,8 +1184,20 @@ func (w *Worker) coordRank() int { return w.man.Workers }
 // session failure, or ctx cancellation. It must be called once, after the
 // mesh is fully connected.
 func (w *Worker) Serve(ctx context.Context) error {
-	if err := w.handshake(ctx); err != nil {
+	var err error
+	if w.grant != nil {
+		err = w.handshakeJoin(ctx)
+	} else {
+		err = w.handshake(ctx)
+	}
+	if err != nil {
 		return err
+	}
+	if w.hb != nil {
+		// A joiner ran a send-only heartbeater while awaiting admission;
+		// replace it with the session-configured liveness plane.
+		w.hb.Stop()
+		w.hb = nil
 	}
 	if w.man.Heartbeat > 0 {
 		w.hb = startHeartbeater(w.t, w.man.Heartbeat, w.man.HeartbeatTimeout, nil)
@@ -1151,21 +1292,32 @@ func (w *Worker) handshake(ctx context.Context) error {
 	if man.Survivable {
 		w.t.SetPeerIsolation(true)
 	}
-	// The manifest reveals the full mesh (the participating workers plus
-	// the coordinator); wait for every connection before building the
-	// executor so edge and group sends never race the dial-in of a
-	// slower-starting peer.
-	peers := make([]int, 0, man.Workers)
+	return w.buildSession(ctx, man)
+}
+
+// peerWaitTimeout bounds a session build's wait for mesh connections: a peer
+// whose dial-in never lands (it died between being granted membership and
+// its HELLO arriving) must not strand the whole rank forever.
+var peerWaitTimeout = 30 * time.Second
+
+// waitMesh blocks until this rank is connected to every participant of the
+// manifest's generation (the listed workers plus the coordinator), so edge
+// and group sends never race the dial-in of a slower-starting or freshly
+// joined peer.
+func (w *Worker) waitMesh(ctx context.Context, man *Manifest) error {
+	peers := make([]int, 0, man.Workers+1)
 	for _, r := range man.ranks() {
 		if r != w.rank {
 			peers = append(peers, r)
 		}
 	}
 	peers = append(peers, man.Workers)
-	if err := w.t.WaitPeers(ctx, peers); err != nil {
-		return err
+	wctx, cancel := context.WithTimeout(ctx, peerWaitTimeout)
+	defer cancel()
+	if err := w.t.WaitPeers(wctx, peers); err != nil {
+		return fmt.Errorf("train: rank %d waiting for mesh %v: %w", w.rank, peers, err)
 	}
-	return w.buildSession(ctx, man)
+	return nil
 }
 
 // buildSession receives the state broadcast and constructs the executor for
@@ -1173,14 +1325,8 @@ func (w *Worker) handshake(ctx context.Context) error {
 // recovery reconfig.
 func (w *Worker) buildSession(ctx context.Context, man *Manifest) error {
 	coord := man.Workers
-	mdl := man.Model
-	p := &core.Plan{Model: &mdl, Cluster: man.Cluster, GBS: man.GBS, MicroBatch: man.MicroBatch}
-	for _, ss := range man.Stages {
-		s := core.Stage{Lo: ss.Lo, Hi: ss.Hi}
-		for _, d := range ss.Devices {
-			s.Devices = append(s.Devices, hardware.DeviceID(d))
-		}
-		p.Stages = append(p.Stages, s)
+	if err := w.waitMesh(ctx, man); err != nil {
+		return err
 	}
 	net, err := BuildNet(man.Net)
 	if err != nil {
@@ -1227,25 +1373,44 @@ func (w *Worker) buildSession(ctx context.Context, man *Manifest) error {
 		return fmt.Errorf("train: worker expected weights-done, got %q", doneEnv.Kind)
 	}
 	w.optStep = doneEnv.OptStep
-	factory, err := man.Opt.Factory()
-	if err != nil {
-		return err
-	}
-	exec, err := NewExecutor(p, net, factory, ExecOptions{
-		Policy: schedule.Policy(man.Policy), Recompute: man.Recompute, NoTrace: true,
-		BucketBytes: man.BucketBytes, MonolithicAllReduce: man.MonolithicAR,
-		Dist: &DistConfig{Transport: w.dataTransport(), Rank: w.rank, DeviceRanks: man.DeviceRanks},
-	})
+	exec, err := w.buildExecutor(man, net)
 	if err == nil && nslots > 0 {
 		err = restoreExecState(exec, man, net, w.optStep, slots)
 	}
 	if err != nil {
-		sendEnvelope(w.t, coord, envelope{Kind: ctrlAbort, Err: err.Error()}) //nolint:errcheck // best-effort before failing
+		if !(man.Survivable && errors.Is(err, transport.ErrPeerDown)) {
+			// A peer dying mid-rebuild is reported with death evidence by the
+			// reconfig path instead; anything else is this rank's own failure.
+			sendEnvelope(w.t, coord, envelope{Kind: ctrlAbort, Err: err.Error()}) //nolint:errcheck // best-effort before failing
+		}
 		return err
 	}
 	w.exec = exec
 	w.net = net
-	return sendEnvelope(w.t, coord, envelope{Kind: ctrlReady})
+	return sendEnvelope(w.t, coord, envelope{Kind: ctrlReady, Step: int(man.Epoch)})
+}
+
+// buildExecutor constructs this rank's executor for the manifest's plan —
+// shared by the broadcast and checkpoint-stream session builds.
+func (w *Worker) buildExecutor(man *Manifest, net *nn.Network) (*Executor, error) {
+	mdl := man.Model
+	p := &core.Plan{Model: &mdl, Cluster: man.Cluster, GBS: man.GBS, MicroBatch: man.MicroBatch}
+	for _, ss := range man.Stages {
+		s := core.Stage{Lo: ss.Lo, Hi: ss.Hi}
+		for _, d := range ss.Devices {
+			s.Devices = append(s.Devices, hardware.DeviceID(d))
+		}
+		p.Stages = append(p.Stages, s)
+	}
+	factory, err := man.Opt.Factory()
+	if err != nil {
+		return nil, err
+	}
+	return NewExecutor(p, net, factory, ExecOptions{
+		Policy: schedule.Policy(man.Policy), Recompute: man.Recompute, NoTrace: true,
+		BucketBytes: man.BucketBytes, MonolithicAllReduce: man.MonolithicAR,
+		Dist: &DistConfig{Transport: w.dataTransport(), Rank: w.rank, DeviceRanks: man.DeviceRanks},
+	})
 }
 
 // restoreExecState distributes a full-network optimizer state into the
@@ -1345,13 +1510,18 @@ func (w *Worker) sendSnapshot(env envelope) error {
 
 // reconfig rebuilds the session onto a recovery manifest: retire the torn
 // transport generation, drain stale tensors up to the coordinator's flush
-// marker, then rebuild the executor from the restored state broadcast.
+// marker, then rebuild the executor — from the restored state broadcast, or
+// from the checkpoint stream when the reconfig announces one (this rank
+// joined mid-session and holds no prior state). Death verdicts pause for the
+// duration: peers rebuilding alongside are legitimately silent.
 func (w *Worker) reconfig(ctx context.Context, env envelope) error {
 	if env.Manifest == nil {
 		return fmt.Errorf("train: reconfig without manifest")
 	}
 	man := env.Manifest
 	w.man = man
+	w.hb.Suspend()
+	defer w.hb.Resume()
 	w.t.Retire(man.Epoch)
 	for w.flushSeen < int(man.Epoch) {
 		tm, err := recvTensor(ctx, w.t)
@@ -1363,7 +1533,19 @@ func (w *Worker) reconfig(ctx context.Context, env envelope) error {
 		}
 		w.t.RecycleTensor(tm.Data)
 	}
-	return w.buildSession(ctx, man)
+	var err error
+	if env.CkptBytes > 0 {
+		err = w.buildSessionFromCkpt(ctx, man, env.CkptBytes)
+	} else {
+		err = w.buildSession(ctx, man)
+	}
+	if err != nil && man.Survivable && errors.Is(err, transport.ErrPeerDown) {
+		// A manifest peer (a joiner, typically) died while this rank was
+		// rebuilding around it: report the evidence and stay alive — the
+		// coordinator's next round re-plans without the corpse.
+		return w.stepFailed(env.Step, err)
+	}
+	return err
 }
 
 // runStep receives one step's micro-batches and executes the local share of

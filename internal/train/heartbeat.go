@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dapple/internal/transport"
@@ -23,6 +24,16 @@ type heartbeater struct {
 	peers    func() []int                         // watch list; nil watches every live connection
 	send     func(peer int) error                 // heartbeat sender, injectable for fault tests
 	verdict  func(peer int, silent time.Duration) // death verdict, injectable
+
+	// suspended pauses death verdicts while a reconfig is in flight: a rank
+	// busy restoring a large checkpoint sends no frames, and must not be
+	// declared dead for it. Heartbeats keep flowing while suspended (this
+	// rank still proves its own liveness); only the verdicts pause.
+	suspended atomic.Bool
+	// resumedAt is the unix-nano instant of the last Resume: after a
+	// suspension every peer's silence clock restarts from here, so time
+	// spent suspended can never count toward a timeout.
+	resumedAt atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -70,19 +81,47 @@ func (h *heartbeater) beat() {
 		watch = h.peers()
 	}
 	now := time.Now()
+	suspended := h.suspended.Load()
+	resumed := time.Unix(0, h.resumedAt.Load())
 	for _, p := range watch {
 		h.send(p) //nolint:errcheck // a failed send is itself liveness evidence the reader pump reports
-		if h.timeout <= 0 {
+		if h.timeout <= 0 || suspended {
 			continue
 		}
 		last, ok := h.t.LastHeard(p)
 		if !ok {
 			continue // already down or never connected; not this plane's call
 		}
+		// Silence accumulated during a suspension doesn't count: the clock
+		// restarts at the last Resume.
+		if last.Before(resumed) {
+			last = resumed
+		}
 		if silent := now.Sub(last); silent > h.timeout {
 			h.verdict(p, silent)
 		}
 	}
+}
+
+// Suspend pauses death verdicts until Resume — called while a reconfig is in
+// flight, when peers legitimately go quiet to rebuild state. Idempotent;
+// heartbeat sends continue throughout.
+func (h *heartbeater) Suspend() {
+	if h == nil {
+		return
+	}
+	h.suspended.Store(true)
+}
+
+// Resume re-arms death verdicts. Every peer's silence clock restarts now, so
+// a peer must be silent for a full fresh timeout after the reconfig before
+// it can be declared dead.
+func (h *heartbeater) Resume() {
+	if h == nil {
+		return
+	}
+	h.resumedAt.Store(time.Now().UnixNano())
+	h.suspended.Store(false)
 }
 
 // Stop ends the liveness loop and waits for it to exit.

@@ -121,3 +121,36 @@ func TestHeartbeatLiveness(t *testing.T) {
 		})
 	}
 }
+
+// TestHeartbeatSuspendDuringReconfig is the regression test for the
+// false-positive window during re-plans: a hung peer must draw no verdict
+// while the heartbeater is suspended — no matter how far past the timeout the
+// silence stretches — and after Resume the silence clock must restart, so the
+// verdict fires only a full fresh timeout later. Without the resume-time
+// clamp, the pre-suspension silence would kill the peer on the first beat
+// after Resume, defeating the suspension entirely.
+func TestHeartbeatSuspendDuringReconfig(t *testing.T) {
+	const tick = 15 * time.Millisecond
+	timeout := 6 * tick
+	a, _ := hbPair(t)
+	watcher := startHeartbeater(a, tick, timeout, nil)
+	defer watcher.Stop()
+
+	// Suspend before any silence accumulates, then wait far past the
+	// timeout: the hung peer must stay live the whole while.
+	watcher.Suspend()
+	if down := waitPeerDown(t, a, 1, 3*timeout); down {
+		t.Fatal("suspended heartbeater declared a peer dead mid-reconfig")
+	}
+
+	// Resume restarts the clock: the peer is already 3 timeouts silent, but
+	// must NOT be downed before a fresh timeout elapses from the resume.
+	watcher.Resume()
+	if down := waitPeerDown(t, a, 1, timeout/2); down {
+		t.Fatal("pre-suspension silence counted toward the timeout after Resume")
+	}
+	// ... and with the peer still hung, the verdict must eventually fire.
+	if down := waitPeerDown(t, a, 1, timeout+20*tick); !down {
+		t.Fatal("hung peer never declared dead after Resume")
+	}
+}

@@ -31,6 +31,15 @@ const (
 	// routing. Receiving any frame refreshes the peer's last-heard clock;
 	// heartbeats exist to generate that traffic on an otherwise idle mesh.
 	FrameHeartbeat = 6
+	// FrameJoinReq opens a membership handshake instead of HELLO: the dialer
+	// has no rank yet and asks to be admitted. The payload is an opaque
+	// session-layer request (version, listen address).
+	FrameJoinReq = 7
+	// FrameJoinGrant answers a FrameJoinReq: A carries the granted rank (-1
+	// for a rejection), B the granter's rank, and the payload an opaque
+	// session-layer reply (peer addresses, manifest hash) or a rejection
+	// reason.
+	FrameJoinGrant = 8
 )
 
 // HeaderSize is the encoded size of a frame Header in bytes.
@@ -101,7 +110,7 @@ func decodeHeader(b []byte) (Header, error) {
 		Cols:  int32(binary.LittleEndian.Uint32(b[28:])),
 		N:     binary.LittleEndian.Uint32(b[32:]),
 	}
-	if h.Type < FrameHello || h.Type > FrameHeartbeat {
+	if h.Type < FrameHello || h.Type > FrameJoinGrant {
 		return Header{}, fmt.Errorf("transport: unknown frame type %d", h.Type)
 	}
 	if h.N > MaxFramePayload {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -23,6 +25,42 @@ var ErrPeerDown = errors.New("transport: peer down")
 // context carries no deadline, so a peer that never comes up fails the dial
 // instead of retrying forever. A var (not a const) so tests can shrink it.
 var defaultDialRetryLimit = 2 * time.Minute
+
+// defaultJoinTimeout bounds DialJoin's admission round-trip when the caller's
+// context carries no deadline.
+var defaultJoinTimeout = 30 * time.Second
+
+// DialRetry's backoff schedule: delays grow exponentially from
+// dialBackoffBase, cap at dialBackoffMax, and are scaled by a seeded jitter
+// factor so W workers re-dialing a restarted peer spread out instead of
+// thundering in lock-step.
+const (
+	dialBackoffBase = 100 * time.Millisecond
+	dialBackoffMax  = 2 * time.Second
+)
+
+// dialBackoff returns retry delay number attempt (0-based): exponential
+// growth from dialBackoffBase capped at dialBackoffMax, scaled by a jitter
+// factor drawn uniformly from [0.75, 1.25) off rng. Deterministic given the
+// rng's seed, so a schedule can be pinned in tests.
+func dialBackoff(rng *rand.Rand, attempt int) time.Duration {
+	d := dialBackoffBase
+	for i := 0; i < attempt && d < dialBackoffMax; i++ {
+		d *= 2
+	}
+	if d > dialBackoffMax {
+		d = dialBackoffMax
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+}
+
+// dialSeed derives a deterministic jitter seed from the dialer's identity and
+// the target, so each (rank, peer) pair walks its own schedule.
+func dialSeed(rank, peer int, addr string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s", rank, peer, addr)
+	return int64(h.Sum64())
+}
 
 // CtrlMsg is one received control-plane payload and the rank it came from.
 type CtrlMsg struct {
@@ -79,22 +117,24 @@ type TCP struct {
 	rank int
 	ln   net.Listener
 
-	mu         sync.Mutex
-	conns      map[int]*tcpConn
-	connWait   chan struct{} // closed and remade on each registration or peer-down
-	edges      map[EdgeID]*edgeSlot
-	groups     map[int]*groupSlot
-	err        error
-	isolate    bool
-	downs      map[int]error
-	downWait   chan struct{} // closed and remade when the down set grows
-	epochFloor uint32
+	mu          sync.Mutex
+	conns       map[int]*tcpConn
+	connWait    chan struct{} // closed and remade on each registration or peer-down
+	edges       map[EdgeID]*edgeSlot
+	groups      map[int]*groupSlot
+	err         error
+	isolate     bool
+	downs       map[int]error
+	downWait    chan struct{} // closed and remade when the down set grows
+	epochFloor  uint32
+	acceptJoins bool
 
 	closed    chan struct{}
 	closeOnce sync.Once
 
-	ctrl chan CtrlMsg
-	tens chan TensorMsg
+	ctrl  chan CtrlMsg
+	tens  chan TensorMsg
+	joins chan *JoinRequest
 
 	// ctrlFree and tensFree recycle inbound payload buffers: the reader
 	// pumps lease from them instead of allocating per frame, and consumers
@@ -124,6 +164,7 @@ func newTCP() *TCP {
 		closed:   make(chan struct{}),
 		ctrl:     make(chan CtrlMsg, 64),
 		tens:     make(chan TensorMsg, 256),
+		joins:    make(chan *JoinRequest, 16),
 		ctrlFree: make(chan []byte, 64),
 		tensFree: make(chan *tensor.Matrix, 64),
 	}
@@ -338,17 +379,27 @@ func (t *TCP) Retire(floor uint32) {
 	if floor > t.epochFloor {
 		t.epochFloor = floor
 	}
+	// Waking every slot's opened latch (not just torn generations') matters:
+	// a reader pump can be parked in a head-of-stream hold on a slot that was
+	// NEVER opened locally — a frame for a generation this endpoint hadn't
+	// built yet. Without the wake it would sleep until an OpenEdge that may
+	// never come; with it, the hold re-checks the raised floor and discards
+	// the now-retired frame.
 	for _, sl := range t.edges {
 		if sl.st != nil {
 			close(sl.st.dead)
 			sl.st = nil
 		}
+		close(sl.opened)
+		sl.opened = make(chan struct{})
 	}
 	for _, sl := range t.groups {
 		if sl.g != nil {
 			close(sl.g.dead)
 			sl.g = nil
 		}
+		close(sl.opened)
+		sl.opened = make(chan struct{})
 	}
 }
 
@@ -372,19 +423,23 @@ func (t *TCP) Dial(ctx context.Context, peer int, addr string) error {
 	return nil
 }
 
-// DialRetry is Dial retried every 200ms until ctx expires, for concurrent
-// mesh bring-up: a peer's listener may not be up yet when this process
-// starts, so connection-refused is a wait, not a failure. The retry window
-// is always bounded: a ctx without a deadline is capped at a package default
-// (2 minutes), so a peer that never comes up fails the dial instead of
-// retrying forever. Returns the last dial error when the window runs out.
+// DialRetry is Dial retried with exponential backoff until ctx expires, for
+// concurrent mesh bring-up: a peer's listener may not be up yet when this
+// process starts, so connection-refused is a wait, not a failure. Retry
+// delays grow from dialBackoffBase to dialBackoffMax with seeded jitter (see
+// dialBackoff), so W workers re-dialing a restarted peer spread their
+// attempts instead of thundering in lock-step. The retry window is always
+// bounded: a ctx without a deadline is capped at a package default (2
+// minutes), so a peer that never comes up fails the dial instead of retrying
+// forever. Returns the last dial error when the window runs out.
 func (t *TCP) DialRetry(ctx context.Context, peer int, addr string) error {
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, defaultDialRetryLimit)
 		defer cancel()
 	}
-	for {
+	rng := rand.New(rand.NewSource(dialSeed(t.rank, peer, addr)))
+	for attempt := 0; ; attempt++ {
 		err := t.Dial(ctx, peer, addr)
 		if err == nil {
 			return nil
@@ -392,7 +447,7 @@ func (t *TCP) DialRetry(ctx context.Context, peer int, addr string) error {
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("transport: dial rank %d at %s: gave up: %w: last error: %w", peer, addr, ctx.Err(), err)
-		case <-time.After(200 * time.Millisecond):
+		case <-time.After(dialBackoff(rng, attempt)):
 		}
 	}
 }
@@ -415,22 +470,189 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-// handshake reads an inbound connection's HELLO, registers it and starts
-// its pumps.
+// handshake reads an inbound connection's opening frame: HELLO (a known rank
+// connecting) registers the connection and starts its pumps; FrameJoinReq (a
+// rankless process asking to be admitted) is handed to the session layer via
+// Joins when joins are accepted, rejected on the wire otherwise.
 func (t *TCP) handshake(nc net.Conn) {
 	defer t.wg.Done()
 	fr := NewFrameReader(nc)
 	h, err := fr.ReadHeader()
-	if err != nil || h.Type != FrameHello {
+	if err != nil {
 		nc.Close()
 		return
 	}
-	c := newTCPConn(t, int(h.A), nc, fr)
-	if err := t.register(c); err != nil {
+	switch h.Type {
+	case FrameHello:
+		c := newTCPConn(t, int(h.A), nc, fr)
+		if err := t.register(c); err != nil {
+			nc.Close()
+			return
+		}
+		c.start()
+	case FrameJoinReq:
+		payload := make([]byte, h.N)
+		if err := fr.ReadBytes(payload); err != nil {
+			nc.Close()
+			return
+		}
+		t.mu.Lock()
+		accept := t.acceptJoins
+		t.mu.Unlock()
+		if !accept {
+			rejectJoin(nc, t.rank, "transport does not accept joins")
+			nc.Close()
+			return
+		}
+		select {
+		case t.joins <- &JoinRequest{Payload: payload, t: t, nc: nc, fr: fr}:
+		case <-t.closed:
+			nc.Close()
+		default:
+			rejectJoin(nc, t.rank, "join queue full")
+			nc.Close()
+		}
+	default:
 		nc.Close()
-		return
+	}
+}
+
+// SetAcceptJoins switches membership-handshake admission on the listener: on,
+// inbound FrameJoinReq connections surface on Joins; off (the default), they
+// are rejected on the wire. Elastic sessions turn it on at the coordinator.
+func (t *TCP) SetAcceptJoins(on bool) {
+	t.mu.Lock()
+	t.acceptJoins = on
+	t.mu.Unlock()
+}
+
+// Joins returns the inbox of pending membership handshakes. Each request must
+// be answered exactly once with Grant or Reject; the admission policy (rank
+// allocation, version checks) lives in the session layer.
+func (t *TCP) Joins() <-chan *JoinRequest { return t.joins }
+
+// JoinRequest is one inbound membership handshake held open by the listener:
+// a rankless process sent FrameJoinReq and is blocked waiting for the grant
+// frame. Grant admits it under a fresh rank; Reject answers with a reason and
+// closes the connection.
+type JoinRequest struct {
+	// Payload is the joiner's opaque request (the session layer's JSON).
+	Payload []byte
+
+	t    *TCP
+	nc   net.Conn
+	fr   *FrameReader
+	mu   sync.Mutex
+	done bool
+}
+
+// Grant admits the joiner as rank: the reply payload rides the grant frame,
+// the connection is registered in the peer table under rank and its pumps
+// start, so mid-session ranks get the same generation-safe edge demux as
+// launch-time peers. rank must be fresh — ranks marked down stay banned.
+func (j *JoinRequest) Grant(rank int, reply []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return errors.New("transport: join request already answered")
+	}
+	j.done = true
+	c := newTCPConn(j.t, rank, j.nc, j.fr)
+	if err := j.t.register(c); err != nil {
+		j.nc.Close()
+		return err
+	}
+	// The grant is written directly: the writer pump only starts below, so
+	// nothing can interleave with it.
+	fw := NewFrameWriter(j.nc)
+	err := fw.WriteBytes(Header{Type: FrameJoinGrant, A: int32(rank), B: int32(j.t.rank)}, reply)
+	if err == nil {
+		err = fw.Flush()
+	}
+	if err != nil {
+		j.t.peerDown(rank, err)
+		return err
 	}
 	c.start()
+	return nil
+}
+
+// Reject answers the handshake with a reason and closes the connection. Safe
+// to call after Grant (it becomes a no-op), so error paths can always reject.
+func (j *JoinRequest) Reject(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return
+	}
+	j.done = true
+	rejectJoin(j.nc, j.t.rank, reason)
+	j.nc.Close()
+}
+
+// rejectJoin writes a rejection grant (rank -1, reason as payload) on a raw
+// connection.
+func rejectJoin(nc net.Conn, rank int, reason string) {
+	fw := NewFrameWriter(nc)
+	if err := fw.WriteBytes(Header{Type: FrameJoinGrant, A: -1, B: int32(rank)}, []byte(reason)); err == nil {
+		fw.Flush()
+	}
+}
+
+// DialJoin dials a listening transport and runs the membership handshake: it
+// sends FrameJoinReq with the opaque request payload, blocks for the grant,
+// and on admission adopts the granted rank as this transport's own, registers
+// the connection under the granter's rank and starts its pumps. It must be
+// called before any other connection exists (the joiner is rankless until the
+// grant). Returns the granted rank, the granter's rank and the opaque reply.
+func (t *TCP) DialJoin(ctx context.Context, addr string, payload []byte) (rank, granter int, reply []byte, err error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	deadline := time.Now().Add(defaultJoinTimeout)
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = dl
+	}
+	nc.SetDeadline(deadline)
+	fw := NewFrameWriter(nc)
+	err = fw.WriteBytes(Header{Type: FrameJoinReq}, payload)
+	if err == nil {
+		err = fw.Flush()
+	}
+	if err != nil {
+		nc.Close()
+		return 0, 0, nil, fmt.Errorf("transport: join %s: %w", addr, err)
+	}
+	fr := NewFrameReader(nc)
+	h, err := fr.ReadHeader()
+	if err != nil {
+		nc.Close()
+		return 0, 0, nil, fmt.Errorf("transport: join %s: no grant: %w", addr, err)
+	}
+	if h.Type != FrameJoinGrant {
+		nc.Close()
+		return 0, 0, nil, fmt.Errorf("transport: join %s: unexpected frame type %d", addr, h.Type)
+	}
+	reply = make([]byte, h.N)
+	if err := fr.ReadBytes(reply); err != nil {
+		nc.Close()
+		return 0, 0, nil, fmt.Errorf("transport: join %s: torn grant: %w", addr, err)
+	}
+	if h.A < 0 {
+		nc.Close()
+		return 0, 0, nil, fmt.Errorf("transport: join %s rejected: %s", addr, reply)
+	}
+	nc.SetDeadline(time.Time{})
+	t.SetRank(int(h.A))
+	c := newTCPConn(t, int(h.B), nc, fr)
+	if err := t.register(c); err != nil {
+		nc.Close()
+		return 0, 0, nil, err
+	}
+	c.start()
+	return int(h.A), int(h.B), reply, nil
 }
 
 // register adds a connection to the peer table and wakes WaitPeers. Ranks
